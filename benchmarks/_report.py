@@ -1,0 +1,46 @@
+"""Shared reporting for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and calls
+:func:`report` with the rows it produced.  The rows are printed (visible
+with ``pytest -s`` and in the captured output on failure) and persisted to
+``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves a reviewable artefact per experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, lines: Iterable[str]) -> None:
+    """Print and persist one experiment's output rows."""
+    rendered = list(lines)
+    banner = f"== {name} =="
+    print()
+    print(banner)
+    for line in rendered:
+        print(line)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text("\n".join([banner, *rendered]) + "\n")
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> list:
+    """Align a small table for report output."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in materialised))
+        if materialised
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return lines

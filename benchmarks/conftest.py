@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration: make the repo root importable so the
+benches can reuse the test-suite factories (``tests.conftest``)."""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))

@@ -1,0 +1,79 @@
+"""A1 — ablations over the design choices DESIGN.md calls out.
+
+Not a paper figure: quantifies what each Enhanced InFilter stage and
+parameter buys, on the 8%-instability workload where the stages matter
+most.
+
+* Scan Analysis on/off — how much of the detection/FP behaviour the scan
+  stage carries;
+* NNS threshold slack — the FP/detection trade-off of the per-cluster
+  distance thresholds;
+* EIA learning threshold — route-change adaptation speed.
+"""
+
+from dataclasses import replace
+
+from _report import report, table
+
+from repro.testbed import ExperimentParams, TestbedConfig, run_point
+
+TESTBED = TestbedConfig(training_flows=2000)
+BASE = ExperimentParams(
+    attack_volume=0.04,
+    normal_flows_per_peer=1000,
+    runs=2,
+    rotate_allocations=True,
+    route_change_blocks=8,
+    seed=2201,
+)
+
+
+def _sweep():
+    points = {}
+    points["baseline (EI)"] = run_point(TESTBED, BASE)
+    points["scan disabled"] = run_point(TESTBED, replace(BASE, scan_enabled=False))
+    for slack in (1.0, 2.0, 4.0):
+        points[f"nns slack {slack}"] = run_point(
+            TESTBED, replace(BASE, nns_threshold_slack=slack)
+        )
+    for threshold in (3, 30):
+        points[f"eia learn {threshold}"] = run_point(
+            TESTBED, replace(BASE, eia_learning_threshold=threshold)
+        )
+    for granularity in (8, 16):
+        points[f"eia granularity /{granularity}"] = run_point(
+            TESTBED, replace(BASE, eia_granularity=granularity)
+        )
+    return points
+
+
+def test_a1_ablations(benchmark):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{series.detection_rate:.1%}",
+            f"{series.false_positive_rate:.2%}",
+        ]
+        for name, series in points.items()
+    ]
+    report("A1_ablation", table(["variant", "detection", "false positives"], rows))
+
+    baseline = points["baseline (EI)"]
+    # Disabling Scan Analysis must not increase false positives (the scan
+    # stage can only add flags) and must hurt scan-type detection.
+    assert (
+        points["scan disabled"].false_positive_rate
+        <= baseline.false_positive_rate + 0.005
+    )
+    # Looser NNS thresholds clear more suspects: FP falls monotonically.
+    assert (
+        points["nns slack 4.0"].false_positive_rate
+        <= points["nns slack 1.0"].false_positive_rate
+    )
+    # Faster EIA learning absorbs route changes sooner: fewer FPs.
+    assert (
+        points["eia learn 3"].false_positive_rate
+        <= points["eia learn 30"].false_positive_rate + 0.005
+    )

@@ -1,0 +1,62 @@
+"""A6 — EIA learning: false-positive decay after a route change.
+
+Section 5.2's adaptation story, measured: at t=0 the routes have changed
+(normal traffic uses a Table 2 allocation, the EIA sets still hold the
+original plan).  The learning rule absorbs the moved blocks as benign
+flows accumulate, so the false-positive rate decays over the run — and
+the decay speed is set by the learning threshold.
+"""
+
+from _report import report, table
+
+from repro.testbed import TestbedConfig
+from repro.testbed.experiments import measure_adaptation
+
+TESTBED = TestbedConfig(training_flows=2000)
+THRESHOLDS = (3, 10, 10_000)  # 10_000 ~ learning disabled
+FLOWS = 2_500
+
+
+def _sweep():
+    return {
+        threshold: measure_adaptation(
+            TESTBED,
+            learning_threshold=threshold,
+            normal_flows_per_peer=FLOWS,
+            n_buckets=8,
+        )
+        for threshold in THRESHOLDS
+    }
+
+
+def test_a6_learning_adaptation(benchmark):
+    curves = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    positions = [f"{x:.2f}" for x, _ in curves[THRESHOLDS[0]]]
+    rows = []
+    for threshold, curve in curves.items():
+        label = f"threshold {threshold}" + (
+            "  (~disabled)" if threshold >= 10_000 else ""
+        )
+        rows.append([label] + [f"{fp:.2%}" for _, fp in curve])
+    report(
+        "A6_learning_adaptation",
+        table(["variant \\ run fraction", *positions], rows)
+        + [
+            "",
+            "expected: FP decays over time when learning is active;"
+            " flat without it",
+        ],
+    )
+
+    def early_late(curve):
+        third = max(len(curve) // 3, 1)
+        early = sum(fp for _, fp in curve[:third]) / third
+        late = sum(fp for _, fp in curve[-third:]) / third
+        return early, late
+
+    fast_early, fast_late = early_late(curves[3])
+    off_early, off_late = early_late(curves[10_000])
+    # Active learning decays substantially; disabled learning stays flat.
+    assert fast_late < fast_early * 0.7
+    assert off_late > off_early * 0.7

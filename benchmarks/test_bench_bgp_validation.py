@@ -1,0 +1,46 @@
+"""E3 — Section 3.2 / Figure 5: source-AS-set mapping stability.
+
+Paper results over 30 days of Routeviews data at 2-hour snapshots
+(346 usable data points): average fractional source-AS-set change per
+reading 1.6%, maximum 5%, growing with the target's peer-AS count.
+"""
+
+from _report import report, table
+
+from repro.routing.topology import TopologyParams
+from repro.util.timebase import DAY
+from repro.validation import BgpStudyConfig, run_bgp_study
+
+
+def test_e3_figure5_bgp_stability(benchmark):
+    config = BgpStudyConfig(
+        n_targets=20,
+        duration_s=30 * DAY,
+        topology=TopologyParams(n_tier1=8, n_tier2=40, n_stub=200),
+    )
+    result = benchmark.pedantic(run_bgp_study, args=(config,), rounds=1, iterations=1)
+
+    rows = [
+        [peers, f"{change:.2%}"] for peers, change in result.figure5_points()
+    ]
+    lines = table(["peer ASes", "mean change/reading"], rows)
+    lines += [
+        "",
+        f"snapshots taken:  {result.snapshots_taken}"
+        f" (paper: 346; missing: {result.snapshots_missing})",
+        f"average change:   {result.overall_mean_change:.2%}  (paper: 1.6%)",
+        f"maximum change:   {result.overall_max_change:.2%}  (paper: 5%)",
+    ]
+    report("E3_figure5_bgp_stability", lines)
+
+    assert result.snapshots_taken > 300
+    assert 0.002 < result.overall_mean_change < 0.06
+    assert result.overall_max_change < 0.5
+
+    # Shape: targets with more peers churn more.  Compare the mean change
+    # of the bottom and top halves by peer count.
+    points = result.figure5_points()
+    half = len(points) // 2
+    low = sum(change for _, change in points[:half]) / half
+    high = sum(change for _, change in points[half:]) / (len(points) - half)
+    assert high >= low

@@ -1,0 +1,35 @@
+"""E13 — Figure 1: route stability vs distance from the source.
+
+The paper's conceptual figure: routes are stable near the source (where
+egress filtering operates) and near the target (where InFilter operates)
+and volatile in between.  We measure per-hop-position change rates over
+repeated traceroutes and check the U-shape.
+"""
+
+from _report import report, table
+
+from repro.util.timebase import HOUR
+from repro.validation import StabilityConfig, run_route_stability_study
+
+
+def test_e13_figure1_route_stability(benchmark):
+    config = StabilityConfig(n_pairs=16, duration_s=72 * HOUR)
+    result = benchmark.pedantic(
+        run_route_stability_study, args=(config,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [f"{position:.2f}", f"{rate:.2%}"] for position, rate in result.curve()
+    ]
+    first, middle, last = result.edge_vs_middle()
+    lines = table(["distance from source (0..1)", "change rate"], rows)
+    lines += [
+        "",
+        f"source edge: {first:.2%}   middle: {middle:.2%}   target edge: {last:.2%}",
+        "paper shape: stable ends (egress filtering / InFilter regions),"
+        " volatile middle",
+    ]
+    report("E13_figure1_route_stability", lines)
+
+    assert middle > 2 * first
+    assert middle > 2 * last

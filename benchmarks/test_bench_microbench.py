@@ -1,0 +1,91 @@
+"""Microbenchmarks of the hot paths (real pytest-benchmark rounds).
+
+Not paper artefacts — throughput numbers a deployment would care about:
+NetFlow v5 codec, EIA longest-prefix check, KOR NNS search, and unary
+encoding.
+"""
+
+from repro.core.clusters import ClusterModel
+from repro.core.config import NNSConfig
+from repro.core.eia import BasicInFilter
+from repro.core.encoding import UnaryEncoder
+from repro.flowgen import Dagflow, SubBlockSpace, eia_allocation, synthesize_trace
+from repro.netflow.v5 import decode_datagram, encode_datagram
+from repro.util import Prefix, SeededRng
+
+TARGET = Prefix.parse("198.18.0.0/16")
+
+
+def _records(count=600, seed=7):
+    rng = SeededRng(seed)
+    space = SubBlockSpace()
+    plan = eia_allocation(space)
+    dagflow = Dagflow(
+        "bench", target_prefix=TARGET, udp_port=9000,
+        source_blocks=plan[0], rng=rng,
+    )
+    trace = synthesize_trace(count, rng=rng.fork("t"))
+    return plan, [lr.record.with_key(input_if=0) for lr in dagflow.replay(trace)]
+
+
+def test_v5_encode_throughput(benchmark):
+    _plan, records = _records()
+    batch = records[:30]
+    result = benchmark(
+        lambda: encode_datagram(batch, sys_uptime=0, unix_secs=0, flow_sequence=0)
+    )
+    assert len(result) == 24 + 30 * 48
+
+
+def test_v5_decode_throughput(benchmark):
+    _plan, records = _records()
+    datagram = encode_datagram(
+        records[:30], sys_uptime=0, unix_secs=0, flow_sequence=0
+    )
+    header, decoded = benchmark(lambda: decode_datagram(datagram))
+    assert header.count == 30
+
+
+def test_eia_check_throughput(benchmark):
+    plan, records = _records()
+    infilter = BasicInFilter()
+    for peer, blocks in plan.items():
+        infilter.preload(peer, blocks)
+    state = {"i": 0}
+
+    def check_one():
+        record = records[state["i"] % len(records)]
+        state["i"] += 1
+        return infilter.check(record)
+
+    result = benchmark(check_one)
+    assert result is not None
+
+
+def test_unary_encode_throughput(benchmark):
+    _plan, records = _records()
+    encoder = UnaryEncoder(NNSConfig().features)
+    stats = [r.stats() for r in records]
+    state = {"i": 0}
+
+    def encode_one():
+        value = stats[state["i"] % len(stats)]
+        state["i"] += 1
+        return encoder.encode(value)
+
+    assert benchmark(encode_one) >= 0
+
+
+def test_nns_search_throughput(benchmark):
+    _plan, records = _records(count=900)
+    model = ClusterModel.train(records[:600], NNSConfig(), rng=SeededRng(8))
+    probes = records[600:]
+    state = {"i": 0}
+
+    def assess_one():
+        record = probes[state["i"] % len(probes)]
+        state["i"] += 1
+        return model.assess(record)
+
+    is_normal, _neighbour, _name = benchmark(assess_one)
+    assert is_normal is not None

@@ -1,0 +1,86 @@
+"""A4 — NNS accuracy vs its parameters (Section 4.2).
+
+The paper: "The level of accuracy of the search depends on the values of
+these quantities [M1, M2, M3] as inferred from [KOR]."  This bench
+quantifies that on a fixed training cluster: for a grid of (M2, M3) the
+approximate search's mean distance ratio against the exact nearest
+neighbour, plus the recall of exact matches.
+"""
+
+from _report import report, table
+
+from repro.core.config import FeatureSpec, NNSConfig
+from repro.core.encoding import UnaryEncoder
+from repro.core.nns import NNSStructure, TrainingFlow
+from repro.netflow.records import FlowStats
+from repro.util.rng import SeededRng
+
+GRID = ((8, 2), (12, 3), (16, 4))  # (M2, M3); (12, 3) is the paper's
+
+
+def _stats(v):
+    return FlowStats(
+        octets=v * 1_000,
+        packets=v,
+        duration_ms=v * 100,
+        bit_rate=v * 800.0,
+        packet_rate=v * 1.0,
+    )
+
+
+def _evaluate(m2, m3):
+    config = NNSConfig(m1=1, m2=m2, m3=m3)
+    encoder = UnaryEncoder(config.features)
+    rng = SeededRng(2404, f"nns-{m2}-{m3}")
+    flows = [
+        TrainingFlow(index=i, stats=_stats(v), encoded=encoder.encode(_stats(v)))
+        for i, v in enumerate(range(2, 400, 4))
+    ]
+    structure = NNSStructure(encoder, config, flows, rng=rng)
+    ratios = []
+    found = 0
+    probes = 0
+    for v in range(1, 400, 3):
+        probes += 1
+        query = encoder.encode(_stats(v))
+        approx = structure.nearest(query)
+        exact = structure.nearest_exact(query)
+        if approx is None:
+            continue
+        found += 1
+        if exact.distance == 0:
+            ratios.append(1.0 if approx.distance == 0 else 2.0)
+        else:
+            ratios.append(approx.distance / exact.distance)
+    mean_ratio = sum(ratios) / len(ratios) if ratios else float("inf")
+    return mean_ratio, found / probes, structure.scales_built
+
+
+def _sweep():
+    return {pair: _evaluate(*pair) for pair in GRID}
+
+
+def test_a4_nns_parameter_accuracy(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"M2={m2}, M3={m3}" + ("  (paper)" if (m2, m3) == (12, 3) else ""),
+            f"{ratio:.2f}x",
+            f"{recall:.1%}",
+            scales,
+        ]
+        for (m2, m3), (ratio, recall, scales) in results.items()
+    ]
+    report(
+        "A4_nns_accuracy",
+        table(
+            ["parameters", "mean dist ratio vs exact", "answer rate", "scales built"],
+            rows,
+        ),
+    )
+
+    paper_ratio, paper_recall, _ = results[(12, 3)]
+    # The paper's parameters give a good approximation on realistic data.
+    assert paper_ratio < 2.0
+    assert paper_recall > 0.95

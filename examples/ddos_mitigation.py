@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DDoS detection and ingress trace-back at ISP scale (Figures 13-14).
+
+Emulates the paper's full testbed — 10 peer ASes, 10 border routers
+exporting NetFlow v5 — and launches a TFN2K distributed flood whose
+spoofed agents enter through three different peers.  The detector's
+IDMEF alerts carry the *observed ingress peer*, which is the paper's
+"easily extended to provide traceback capability": the ISP learns which
+border routers the attack is actually using, regardless of what the
+source addresses claim.
+
+Run:  python examples/ddos_mitigation.py
+"""
+
+from collections import Counter
+
+from repro.core import PipelineConfig
+from repro.flowgen import generate_attack, synthesize_trace
+from repro.testbed import Testbed, TestbedConfig
+from repro.util import SeededRng
+
+
+def main() -> None:
+    rng = SeededRng(777)
+    testbed = Testbed(TestbedConfig(training_flows=3000), rng=rng)
+    detector = testbed.build_detector(PipelineConfig())
+
+    # Background traffic on every peer, plus TFN2K agents entering via
+    # peers 2, 5 and 8 with spoofed sources.
+    streams = []
+    for peer in range(10):
+        trace = synthesize_trace(400, rng=rng.fork(f"bg-{peer}"))
+        streams.append(
+            (peer, testbed.normal_dagflow(peer, testbed.eia_plan[peer]).replay(trace))
+        )
+    attack_peers = (2, 5, 8)
+    for peer in attack_peers:
+        flood = generate_attack("tfn2k", rng=rng.fork(f"flood-{peer}"))
+        streams.append((peer, testbed.attack_dagflow(peer).replay(flood)))
+
+    n_attack = n_caught = n_normal = n_fp = 0
+    for timed in testbed.merge_streams(streams):
+        decision = detector.process(timed.record)
+        if timed.is_attack:
+            n_attack += 1
+            n_caught += decision.is_attack
+        else:
+            n_normal += 1
+            n_fp += decision.is_attack
+
+    print(f"flood flows flagged: {n_caught}/{n_attack}"
+          f"   false positives: {n_fp}/{n_normal}")
+
+    # Trace-back: group alerts by the border router that admitted them.
+    by_ingress = Counter(a.observed_peer for a in detector.alert_sink.alerts)
+    print("\ningress attribution from IDMEF alerts:")
+    for peer, count in sorted(by_ingress.items()):
+        marker = "  <-- attack ingress" if peer in attack_peers else ""
+        print(f"  peer AS{peer + 1} / BR{peer + 1}: {count:4d} alerts{marker}")
+
+    claimed = Counter(
+        a.expected_peer for a in detector.alert_sink.alerts
+        if a.expected_peer is not None
+    )
+    print(f"\nthe spoofed sources *claimed* to belong to"
+          f" {len(claimed)} different peers — trace-back by source address"
+          f" would have chased all of them; ingress attribution points at"
+          f" {len(by_ingress)}.")
+
+
+if __name__ == "__main__":
+    main()

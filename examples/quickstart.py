@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: detect spoofed traffic at a two-peer border in ~40 lines.
+
+Builds the smallest meaningful deployment — a target network with two
+peer ASes — trains the Enhanced InFilter on observed traffic, then feeds
+it a mix of legitimate flows and spoofed attack flows and prints what the
+detector concluded.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EnhancedInFilter, PipelineConfig, Verdict
+from repro.flowgen import Dagflow, generate_attack, synthesize_trace
+from repro.util import Prefix, SeededRng
+
+PEER_WEST, PEER_EAST = 0, 1
+TARGET_NET = Prefix.parse("198.18.0.0/16")
+
+
+def main() -> None:
+    rng = SeededRng(1234)
+
+    # Traffic sources: each peer AS carries a distinct slice of the
+    # Internet toward our target network.
+    west_blocks = [Prefix.parse("24.0.0.0/11"), Prefix.parse("64.0.0.0/11")]
+    east_blocks = [Prefix.parse("144.0.0.0/11"), Prefix.parse("203.0.0.0/11")]
+    west = Dagflow(
+        "west", target_prefix=TARGET_NET, udp_port=9001,
+        source_blocks=west_blocks, rng=rng.fork("west"),
+    )
+    east = Dagflow(
+        "east", target_prefix=TARGET_NET, udp_port=9002,
+        source_blocks=east_blocks, rng=rng.fork("east"),
+    )
+
+    # The detector: EIA sets say which sources are expected at which peer.
+    detector = EnhancedInFilter(PipelineConfig())
+    detector.preload_eia(PEER_WEST, west_blocks)
+    detector.preload_eia(PEER_EAST, east_blocks)
+
+    # Train the anomaly model on normal traffic.
+    training = [
+        lr.record.with_key(input_if=PEER_WEST)
+        for lr in west.replay(synthesize_trace(3000, rng=rng.fork("train")))
+    ]
+    detector.train(training)
+    print(f"trained on {len(training)} flows;"
+          f" per-class thresholds: {detector.model.thresholds()}")
+
+    # Live traffic: legitimate flows via the right peer...
+    live = synthesize_trace(500, rng=rng.fork("live"))
+    legal = sum(
+        detector.process(lr.record.with_key(input_if=PEER_WEST)).verdict
+        == Verdict.LEGAL
+        for lr in west.replay(live)
+    )
+    print(f"normal traffic: {legal}/{len(live)} flows passed as legal")
+
+    # ...and a Slammer outbreak spoofing *east* addresses into the *west* peer.
+    spoofer = Dagflow(
+        "spoofer", target_prefix=TARGET_NET, udp_port=9001,
+        source_blocks=east_blocks, rng=rng.fork("spoof"),
+    )
+    worm = generate_attack("slammer", rng=rng.fork("worm"))
+    caught = sum(
+        detector.process(lr.record.with_key(input_if=PEER_WEST)).is_attack
+        for lr in spoofer.replay(worm)
+    )
+    print(f"slammer outbreak: {caught}/{len(worm)} spoofed flows flagged")
+    print(f"alerts raised: {len(detector.alert_sink)}")
+    first = detector.alert_sink.alerts[0]
+    print(f"first alert: {first.classification} via stage {first.stage!r}"
+          f" (expected peer {first.expected_peer},"
+          f" observed peer {first.observed_peer})")
+
+
+if __name__ == "__main__":
+    main()

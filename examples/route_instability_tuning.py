@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Tuning the EIA learning threshold under route instability (Section 5.2).
+
+When a route genuinely changes, traffic from the affected source blocks
+starts arriving at a different peer AS and the Basic InFilter flags it —
+false positives — until the learning rule absorbs the block into the new
+peer's EIA set.  The learning threshold trades off:
+
+* **low** thresholds adapt fast (few FPs after a route change) but are
+  easier for an attacker to poison with a patient trickle of spoofed,
+  benign-looking flows;
+* **high** thresholds resist poisoning but leave legitimate traffic
+  flagged for longer.
+
+This example sweeps the threshold under an 8% route-change workload and
+prints the FP rate, detection rate and the number of absorbed blocks for
+each setting.
+
+Run:  python examples/route_instability_tuning.py
+"""
+
+from dataclasses import replace
+
+from repro.testbed import ExperimentParams, TestbedConfig
+from repro.testbed.experiments import run_single
+from repro.util import SeededRng
+
+
+def main() -> None:
+    testbed_config = TestbedConfig(training_flows=2000)
+    base = ExperimentParams(
+        attack_volume=0.04,
+        normal_flows_per_peer=800,
+        rotate_allocations=True,
+        route_change_blocks=8,
+        runs=1,
+    )
+
+    print("EIA learning-threshold sweep @ 8% route instability")
+    print(f"{'threshold':>9}  {'FP rate':>8}  {'detection':>9}  {'absorbed':>8}")
+    for threshold in (2, 5, 10, 25, 100):
+        params = replace(base, eia_learning_threshold=threshold)
+        score = run_single(
+            testbed_config, params, rng=SeededRng(42, f"thr-{threshold}")
+        )
+        score.finalize()
+        print(
+            f"{threshold:>9}  {score.false_positive_rate:>8.2%}"
+            f"  {score.detection_rate:>9.2%}  {score.absorbed:>8}"
+        )
+
+    print(
+        "\nlow thresholds absorb route-changed blocks quickly (fewer FPs);"
+        "\nhigh thresholds hold the line longer — and would also resist an"
+        "\nattacker trying to talk their way into an EIA set."
+    )
+
+
+if __name__ == "__main__":
+    main()

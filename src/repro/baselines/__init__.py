@@ -1,0 +1,22 @@
+"""Comparison baselines: uRPF, history-based filtering, signature IDS."""
+
+from repro.baselines.comparison import BASELINE_NAMES, compare_baselines
+from repro.baselines.history_filter import HistoryFilter, HistoryFilterConfig
+from repro.baselines.signature_ids import (
+    Signature,
+    SignatureIDS,
+    default_signatures,
+)
+from repro.baselines.urpf import UrpfFilter, asymmetric_fib
+
+__all__ = [
+    "BASELINE_NAMES",
+    "compare_baselines",
+    "HistoryFilter",
+    "HistoryFilterConfig",
+    "Signature",
+    "SignatureIDS",
+    "default_signatures",
+    "UrpfFilter",
+    "asymmetric_fib",
+]

@@ -1,0 +1,155 @@
+"""Side-by-side evaluation of InFilter against the related-work baselines.
+
+Runs one testbed traffic mix (normal + spoofed attacks, optional route
+instability) through:
+
+* the Enhanced InFilter pipeline (this paper),
+* the Basic InFilter configuration,
+* strict uRPF over a partially asymmetric FIB ([URPF]),
+* history-based IP filtering ([Peng]),
+* a signature IDS whose database predates the stealthy attacks ([SNORT]),
+
+and scores each with the same :class:`~repro.testbed.metrics.RunScore`
+machinery.  This is the quantitative version of the paper's Section 2
+arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.baselines.history_filter import HistoryFilter, HistoryFilterConfig
+from repro.baselines.signature_ids import SignatureIDS
+from repro.baselines.urpf import UrpfFilter, asymmetric_fib
+from repro.core.config import PipelineConfig
+from repro.flowgen.traces import synthesize_trace
+from repro.testbed.emulation import Testbed, TestbedConfig, TimedRecord
+from repro.testbed.experiments import ExperimentParams
+from repro.testbed.metrics import RunScore, SeriesScore
+from repro.util.rng import SeededRng
+
+__all__ = ["BASELINE_NAMES", "compare_baselines"]
+
+BASELINE_NAMES: Tuple[str, ...] = (
+    "enhanced_infilter",
+    "basic_infilter",
+    "urpf",
+    "history_filter",
+    "signature_ids",
+)
+
+
+def _collect_stream(
+    testbed: Testbed, params: ExperimentParams, rng: SeededRng
+) -> List[TimedRecord]:
+    """Materialise one run's merged record stream (shared by baselines)."""
+    from repro.testbed import experiments as _exp
+
+    streams = []
+    horizon_ms = 0
+    for peer in range(testbed.config.n_peers):
+        trace = synthesize_trace(
+            params.normal_flows_per_peer, rng=rng.fork(f"trace-{peer}")
+        )
+        if trace:
+            horizon_ms = max(horizon_ms, trace[-1].start_ms)
+        dagflow = testbed.normal_dagflow(peer, testbed.eia_plan[peer])
+        if params.route_change_blocks > 0:
+            allocation = testbed.allocations_for(params.route_change_blocks, 1)[0]
+            dagflow.set_blocks(allocation[peer].blocks)
+        streams.append((peer, dagflow.replay(trace)))
+    flow_budget = int(params.attack_volume * params.normal_flows_per_peer)
+    for peer in params.attack_peers:
+        if flow_budget <= 0:
+            continue
+        attack_flows = _exp._attack_trace(
+            rng.fork(f"attacks-{peer}"),
+            flow_budget=flow_budget,
+            horizon_ms=max(horizon_ms, 1),
+            peer=peer,
+        )
+        streams.append((peer, testbed.attack_dagflow(peer).replay(attack_flows)))
+    return list(testbed.merge_streams(streams))
+
+
+def _score(
+    stream: Iterable[TimedRecord], is_suspect: Callable[[TimedRecord], bool]
+) -> RunScore:
+    score = RunScore()
+    for timed in stream:
+        flagged = is_suspect(timed)
+        if timed.is_attack:
+            score.note_attack(timed.label, flagged)
+        else:
+            score.note_normal(flagged)
+    return score
+
+
+def compare_baselines(
+    testbed_config: TestbedConfig = TestbedConfig(),
+    params: ExperimentParams = ExperimentParams(),
+    *,
+    urpf_asymmetry: float = 0.15,
+) -> Dict[str, SeriesScore]:
+    """Run all five detectors over identical traffic, ``params.runs`` times.
+
+    ``urpf_asymmetry`` is the fraction of source blocks whose outbound
+    best path differs from their ingress — uRPF's failure mode at network
+    boundaries.
+    """
+    results: Dict[str, SeriesScore] = {name: SeriesScore() for name in BASELINE_NAMES}
+    for run_index in range(params.runs):
+        rng = SeededRng(params.seed + run_index, f"baseline-run-{run_index}")
+        testbed = Testbed(testbed_config, rng=rng.fork("testbed"))
+        stream = _collect_stream(testbed, params, rng.fork("traffic"))
+
+        # Enhanced and Basic InFilter.
+        for name, enhanced in (
+            ("enhanced_infilter", True),
+            ("basic_infilter", False),
+        ):
+            config = (
+                PipelineConfig.enhanced_default()
+                if enhanced
+                else PipelineConfig.basic()
+            )
+            detector = testbed.build_detector(config)
+            results[name].add(
+                _score(stream, lambda t, d=detector: d.process(t.record).is_attack)
+            )
+
+        # Strict uRPF with a partially asymmetric FIB.
+        fib = asymmetric_fib(
+            {peer: blocks for peer, blocks in testbed.eia_plan.items()},
+            asymmetry=urpf_asymmetry,
+            rng=rng.fork("urpf"),
+        )
+        urpf = UrpfFilter(fib)
+        results["urpf"].add(
+            _score(stream, lambda t: urpf.is_suspect(t.record))
+        )
+
+        # History-based filtering, seeded with peacetime traffic from
+        # every peer — the edge router's full view of legitimate sources.
+        # Note this is precisely why the scheme cannot catch InFilter's
+        # threat model: spoofed sources drawn from *other peers'* space
+        # are legitimate addresses the history has already admitted.
+        history = HistoryFilter(HistoryFilterConfig())
+        peace_rng = rng.fork("peacetime")
+        for peer in range(testbed.config.n_peers):
+            dagflow = testbed.normal_dagflow(peer, testbed.eia_plan[peer])
+            peace = synthesize_trace(
+                max(params.normal_flows_per_peer // 2, 200),
+                rng=peace_rng.fork(f"peace-{peer}"),
+            )
+            history.learn_all(lr.record for lr in dagflow.replay(peace))
+        results["history_filter"].add(
+            _score(stream, lambda t: history.is_suspect(t.record))
+        )
+
+        # Signature IDS with a pre-outbreak database.
+        ids = SignatureIDS()
+        results["signature_ids"].add(
+            _score(stream, lambda t: ids.is_suspect(t.record))
+        )
+    return results

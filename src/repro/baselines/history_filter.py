@@ -1,0 +1,102 @@
+"""History-based IP filtering (the [Peng] comparison point).
+
+Peng, Leckie and Kotagiri's defence keeps, at the edge router, a history
+of source addresses that previously appeared legitimately; during
+overload it admits only sources present in the history.  Two properties
+distinguish it from InFilter (Section 2):
+
+* it is **not peer-aware** — the history is network-wide, so a spoofed
+  source that is a perfectly legitimate address *somewhere* on the
+  Internet passes the filter as long as it has been seen before;
+* it only activates under **overload**, so low-volume stealthy attacks
+  slide through entirely.
+
+Both properties are modelled here so the baseline benchmark can show
+where each scheme wins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable
+
+from repro.netflow.records import FlowRecord
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix, PrefixTrie
+
+__all__ = ["HistoryFilterConfig", "HistoryFilter"]
+
+
+@dataclass(frozen=True)
+class HistoryFilterConfig:
+    """Tuning of the history filter.
+
+    ``granularity`` is the prefix length at which sources are remembered
+    (the paper's implementation used address aggregates).  ``admission_
+    count`` is how many appearances make a source "previously seen".
+    Overload is declared when more than ``overload_flows`` flows arrive
+    within ``overload_window_ms``.
+    """
+
+    granularity: int = 11
+    admission_count: int = 1
+    overload_flows: int = 500
+    overload_window_ms: int = 1_000
+
+    def __post_init__(self) -> None:
+        if not 0 < self.granularity <= 32:
+            raise ConfigError("granularity must be a valid prefix length")
+        if self.admission_count < 1:
+            raise ConfigError("admission_count must be positive")
+        if self.overload_flows < 1 or self.overload_window_ms < 1:
+            raise ConfigError("overload parameters must be positive")
+
+
+class HistoryFilter:
+    """The history-based admission filter."""
+
+    def __init__(self, config: HistoryFilterConfig = HistoryFilterConfig()) -> None:
+        self.config = config
+        self._counts: PrefixTrie = PrefixTrie()
+        self._arrivals: Deque[int] = deque()
+        self.overload_activations = 0
+
+    # -- history maintenance -------------------------------------------------
+
+    def learn(self, record: FlowRecord) -> None:
+        """Record a legitimate appearance of the flow's source."""
+        block = Prefix.from_address(
+            record.key.src_addr, self.config.granularity
+        )
+        self._counts.insert(block, (self._counts.get(block) or 0) + 1)
+
+    def learn_all(self, records: Iterable[FlowRecord]) -> None:
+        for record in records:
+            self.learn(record)
+
+    def in_history(self, address: int) -> bool:
+        match = self._counts.longest_match(address)
+        return match is not None and match[1] >= self.config.admission_count
+
+    # -- online check ----------------------------------------------------------
+
+    def is_overloaded(self, now_ms: int) -> bool:
+        window_start = now_ms - self.config.overload_window_ms
+        while self._arrivals and self._arrivals[0] < window_start:
+            self._arrivals.popleft()
+        return len(self._arrivals) > self.config.overload_flows
+
+    def is_suspect(self, record: FlowRecord) -> bool:
+        """Admission decision for one flow.
+
+        Outside overload everything is admitted (and learned).  Under
+        overload, sources absent from the history are suspect.
+        """
+        now_ms = record.last
+        self._arrivals.append(now_ms)
+        if not self.is_overloaded(now_ms):
+            self.learn(record)
+            return False
+        self.overload_activations += 1
+        return not self.in_history(record.key.src_addr)

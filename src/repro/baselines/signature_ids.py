@@ -1,0 +1,152 @@
+"""A signature-based IDS baseline (the [SNORT] comparison point).
+
+The paper's point about COTS IDS (Section 1): stealthy spoofed attacks
+"were not detected by the prevailing COTS IDS when they were launched"
+because no signature existed yet, and signature maintenance has real cost.
+This baseline models a flow-level signature engine whose database covers
+only the *already published* attacks: detection is perfect inside the
+database and zero outside it.
+
+By default the database excludes :data:`~repro.flowgen.attacks.STEALTHY_
+ATTACKS` — the attacks are treated as not yet discovered, matching the
+paper's evaluation stance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Optional
+
+from repro.flowgen.attacks import ATTACK_NAMES, STEALTHY_ATTACKS
+from repro.netflow.records import (
+    PORT_DNS,
+    PORT_FTP,
+    PORT_HTTP,
+    PORT_SMTP,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_SYN,
+    FlowRecord,
+)
+from repro.util.errors import ConfigError
+
+__all__ = ["Signature", "SignatureIDS", "default_signatures"]
+
+Matcher = Callable[[FlowRecord], bool]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One flow-level signature."""
+
+    name: str
+    matcher: Matcher
+
+    def matches(self, record: FlowRecord) -> bool:
+        return self.matcher(record)
+
+
+def _bpp(record: FlowRecord) -> float:
+    return record.octets / record.packets
+
+
+def default_signatures() -> Dict[str, Signature]:
+    """Flow-level signatures for every attack in the catalog.
+
+    Each predicate matches the footprint the corresponding generator
+    leaves (and essentially no normal traffic).  Which of these an engine
+    instance actually *uses* is decided by its database (see
+    :class:`SignatureIDS`).
+    """
+    return {
+        name: Signature(name, matcher)
+        for name, matcher in {
+            "puke": lambda r: r.key.protocol == PROTO_ICMP
+            and r.packets == 1
+            and r.octets <= 84,
+            "jolt": lambda r: r.key.protocol == PROTO_ICMP and _bpp(r) > 4_000,
+            "teardrop": lambda r: r.key.protocol == PROTO_UDP
+            and r.packets == 2
+            and r.octets <= 120,
+            "slammer": lambda r: r.key.protocol == PROTO_UDP
+            and r.key.dst_port == 1434
+            and r.octets == 404,
+            "tfn2k": lambda r: r.key.protocol in (PROTO_UDP, PROTO_ICMP)
+            and r.packets >= 80
+            and _bpp(r) <= 64,
+            "synflood": lambda r: r.key.protocol == PROTO_TCP
+            and r.tcp_flags == TCP_SYN
+            and r.key.dst_port == PORT_HTTP
+            and r.packets <= 3,
+            "network_scan": lambda r: r.key.protocol == PROTO_TCP
+            and r.tcp_flags == TCP_SYN
+            and r.packets == 1
+            and r.octets <= 60,
+            "host_scan": lambda r: r.key.protocol == PROTO_TCP
+            and r.tcp_flags == TCP_SYN
+            and r.packets == 1
+            and r.octets <= 60
+            and r.key.dst_port < 1024,
+            "http_exploit": lambda r: r.key.protocol == PROTO_TCP
+            and r.key.dst_port == PORT_HTTP
+            and _bpp(r) > 10_000,
+            "ftp_exploit": lambda r: r.key.protocol == PROTO_TCP
+            and r.key.dst_port == PORT_FTP
+            and _bpp(r) > 7_000,
+            "smtp_exploit": lambda r: r.key.protocol == PROTO_TCP
+            and r.key.dst_port == PORT_SMTP
+            and r.packets >= 400,
+            "dns_exploit": lambda r: r.key.protocol == PROTO_UDP
+            and r.key.dst_port == PORT_DNS
+            and r.octets > 1_500,
+        }.items()
+    }
+
+
+class SignatureIDS:
+    """A signature engine with a configurable database.
+
+    ``known_attacks`` defaults to everything *except* the stealthy set —
+    the paper's "treat these attacks as if they have not yet been
+    discovered" stance.  :meth:`publish` adds a signature later, modelling
+    the post-outbreak update cycle.
+    """
+
+    def __init__(self, known_attacks: Optional[Iterable[str]] = None) -> None:
+        self._library = default_signatures()
+        if known_attacks is None:
+            known = set(ATTACK_NAMES) - set(STEALTHY_ATTACKS)
+        else:
+            known = set(known_attacks)
+        unknown = known - set(self._library)
+        if unknown:
+            raise ConfigError(f"no signatures exist for {sorted(unknown)}")
+        self._active: Dict[str, Signature] = {
+            name: self._library[name] for name in sorted(known)
+        }
+        self.matches_by_signature: Dict[str, int] = {}
+
+    @property
+    def database(self) -> FrozenSet[str]:
+        return frozenset(self._active)
+
+    def publish(self, name: str) -> None:
+        """Add a (now published) signature to the database."""
+        try:
+            self._active[name] = self._library[name]
+        except KeyError:
+            raise ConfigError(f"no signature exists for {name!r}") from None
+
+    def match(self, record: FlowRecord) -> Optional[str]:
+        """The first matching signature name, or None."""
+        for name, signature in self._active.items():
+            if signature.matches(record):
+                self.matches_by_signature[name] = (
+                    self.matches_by_signature.get(name, 0) + 1
+                )
+                return name
+        return None
+
+    def is_suspect(self, record: FlowRecord) -> bool:
+        return self.match(record) is not None

@@ -1,0 +1,75 @@
+"""Unicast Reverse Path Forwarding (the [URPF] comparison point).
+
+uRPF accepts a packet only when the local routing table would route
+traffic *toward* the packet's source out of the interface the packet
+arrived on.  Section 2 explains why this is the wrong tool at boundaries
+between large networks: inter-domain routing is asymmetric, so the egress
+for a source is frequently not its ingress, and strict uRPF then drops
+legitimate traffic.
+
+:class:`UrpfFilter` implements the strict-mode check against a FIB;
+:func:`asymmetric_fib` derives a FIB from an ingress plan with a
+controlled fraction of asymmetric routes, letting experiments quantify
+the false positives InFilter avoids by *learning* the ingress mapping
+instead of assuming symmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.netflow.records import FlowRecord
+from repro.util.ip import Prefix, PrefixTrie
+from repro.util.rng import SeededRng
+
+__all__ = ["UrpfFilter", "asymmetric_fib"]
+
+
+class UrpfFilter:
+    """Strict uRPF over a prefix → egress-interface FIB."""
+
+    def __init__(self, fib: Optional[PrefixTrie] = None) -> None:
+        self._fib: PrefixTrie = fib if fib is not None else PrefixTrie()
+
+    def install(self, prefix: Prefix, egress_interface: int) -> None:
+        """Install one FIB entry."""
+        self._fib.insert(prefix, egress_interface)
+
+    def egress_for(self, address: int) -> Optional[int]:
+        match = self._fib.longest_match(address)
+        return match[1] if match is not None else None
+
+    def is_suspect(self, record: FlowRecord) -> bool:
+        """Strict uRPF: suspect unless the FIB egress for the source
+        equals the arrival interface.  A source with no route at all is
+        always suspect (the classic bogon case)."""
+        egress = self.egress_for(record.key.src_addr)
+        return egress != record.key.input_if
+
+
+def asymmetric_fib(
+    ingress_plan: Dict[int, Sequence[Prefix]],
+    *,
+    asymmetry: float,
+    rng: SeededRng,
+) -> PrefixTrie:
+    """A FIB derived from an ingress plan with asymmetric routes.
+
+    ``ingress_plan`` maps each peer interface to the blocks whose traffic
+    *enters* there.  For a fraction ``asymmetry`` of blocks the outbound
+    best path differs (traffic toward the block leaves via some other
+    peer), which is exactly the situation that breaks the uRPF
+    assumption between large networks.
+    """
+    if not 0.0 <= asymmetry <= 1.0:
+        raise ValueError("asymmetry must be a fraction")
+    peers = sorted(ingress_plan)
+    fib: PrefixTrie = PrefixTrie()
+    for peer in peers:
+        for prefix in ingress_plan[peer]:
+            egress = peer
+            if len(peers) > 1 and rng.bernoulli(asymmetry):
+                others = [p for p in peers if p != peer]
+                egress = rng.choice(others)
+            fib.insert(prefix, egress)
+    return fib

@@ -1,0 +1,535 @@
+"""Command-line interface.
+
+``infilter`` exposes the library's operational surface:
+
+* ``infilter synth``      — synthesise traffic (normal or an attack) into a flow file;
+* ``infilter report``     — flow-report style statistics over a flow file;
+* ``infilter detect``     — run the Enhanced InFilter over a flow file and
+  emit IDMEF alerts (plus a trace-back summary);
+* ``infilter validate``   — run the Section 3 hypothesis-validation studies;
+* ``infilter experiment`` — run one Section 6.3 experiment point;
+* ``infilter convert``    — convert flow files between binary and ASCII.
+
+Every command is deterministic given ``--seed``.  EIA sets for ``detect``
+come from a plain-text plan file with one ``<peer> <prefix>`` pair per
+line (``#`` comments allowed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import EnhancedInFilter, PipelineConfig, TracebackAnalyzer
+from repro.flowgen import (
+    ATTACK_NAMES,
+    Dagflow,
+    SubBlockSpace,
+    eia_allocation,
+    generate_attack,
+    synthesize_trace,
+)
+from repro.netflow.files import (
+    export_ascii,
+    import_ascii,
+    read_flow_file,
+    write_flow_file,
+)
+from repro.netflow.records import FlowRecord
+from repro.netflow.reports import build_report
+from repro.util.errors import ReproError
+from repro.util.ip import Prefix
+from repro.util.rng import SeededRng
+from repro.util.timebase import HOUR, MINUTE
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_flows(path: str) -> List[FlowRecord]:
+    """Read a flow file, auto-detecting binary vs ASCII."""
+    data = Path(path).read_bytes()
+    if data.startswith(b"RFL1"):
+        return read_flow_file(path)
+    return import_ascii(path)
+
+
+def _save_flows(path: str, records: Sequence[FlowRecord], ascii_format: bool) -> int:
+    if ascii_format:
+        return export_ascii(path, records)
+    return write_flow_file(path, records)
+
+
+def _load_eia_plan(path: str) -> Dict[int, List[Prefix]]:
+    """Parse a ``<peer> <prefix>`` plan file."""
+    plan: Dict[int, List[Prefix]] = {}
+    for line_number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ReproError(
+                f"{path}:{line_number}: expected '<peer> <prefix>', got {line!r}"
+            )
+        peer = int(parts[0])
+        plan.setdefault(peer, []).append(Prefix.parse(parts[1]))
+    if not plan:
+        raise ReproError(f"{path}: no EIA entries found")
+    return plan
+
+
+# -- synth ----------------------------------------------------------------
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    rng = SeededRng(args.seed, "cli-synth")
+    if args.attack is not None:
+        flows = generate_attack(args.attack, rng=rng.fork("attack"))
+    else:
+        flows = synthesize_trace(args.flows, rng=rng.fork("trace"))
+    space = SubBlockSpace()
+    plan = eia_allocation(space)
+    peer = args.peer % len(plan)
+    if args.spoof:
+        blocks = [
+            block
+            for other, owned in plan.items()
+            if other != peer
+            for block in owned
+        ]
+    else:
+        blocks = plan[peer]
+    dagflow = Dagflow(
+        "cli",
+        target_prefix=Prefix.parse(args.target),
+        udp_port=9000,
+        source_blocks=blocks,
+        rng=rng.fork("dagflow"),
+    )
+    records = [
+        lr.record.with_key(input_if=args.peer) for lr in dagflow.replay(flows)
+    ]
+    count = _save_flows(args.output, records, args.ascii)
+    print(f"wrote {count} flow records to {args.output}")
+    return 0
+
+
+# -- report ------------------------------------------------------------------
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    records = _load_flows(args.flow_file)
+    group_by = tuple(args.group_by.split(","))
+    report = build_report(records, group_by=group_by)
+    if args.format == "csv":
+        print(report.to_csv(limit=args.top), end="")
+        return 0
+    if args.format == "json":
+        print(report.to_json(limit=args.top))
+        return 0
+    print(report.render(limit=args.top))
+    totals = report.totals()
+    print(
+        f"\n{totals.flows} flows, {totals.packets} packets,"
+        f" {totals.octets} octets across {len(report.groups)} groups"
+    )
+    return 0
+
+
+# -- detect ---------------------------------------------------------------
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    records = _load_flows(args.flow_file)
+    training: List[FlowRecord] = []
+    if args.load_state:
+        from repro.core.persistence import load_detector
+
+        detector = load_detector(args.load_state)
+        if args.eia_plan:
+            print(
+                "note: --load-state supplied; ignoring the EIA plan file",
+                file=sys.stderr,
+            )
+    else:
+        if not args.eia_plan:
+            print("error: an EIA plan file is required without --load-state",
+                  file=sys.stderr)
+            return 2
+        plan = _load_eia_plan(args.eia_plan)
+        config = (
+            PipelineConfig.enhanced_default()
+            if not args.basic
+            else PipelineConfig.basic()
+        )
+        detector = EnhancedInFilter(config, rng=SeededRng(args.seed, "cli-detect"))
+        for peer, prefixes in plan.items():
+            detector.preload_eia(peer, prefixes)
+        if not args.basic:
+            if args.training_file:
+                training = _load_flows(args.training_file)
+            else:
+                # Self-train on the input's EIA-legal traffic.
+                training = [
+                    record
+                    for record in records
+                    if not detector.infilter.check(record).suspect
+                ]
+            if not training:
+                print("error: no training flows available", file=sys.stderr)
+                return 2
+            detector.train(training)
+    attacks = 0
+    for record in records:
+        decision = detector.process(record)
+        if decision.is_attack:
+            attacks += 1
+            if args.idmef:
+                print(decision.alert.to_xml())
+    stats = detector.stats
+    print(
+        f"processed {stats.processed} flows:"
+        f" {stats.legal} legal, {stats.suspects} suspect,"
+        f" {attacks} flagged as attacks"
+        f" (mean latency {stats.mean_latency_s * 1e3:.3f} ms)",
+        file=sys.stderr if args.idmef else sys.stdout,
+    )
+    analyzer = TracebackAnalyzer()
+    analyzer.consume_all(detector.alert_sink.alerts)
+    if len(analyzer):
+        print(f"trace-back: {analyzer.report().summary()}",
+              file=sys.stderr if args.idmef else sys.stdout)
+    if args.save_state:
+        from repro.core.persistence import save_detector
+
+        save_detector(detector, args.save_state, training_records=training or None)
+        print(f"detector state saved to {args.save_state}",
+              file=sys.stderr if args.idmef else sys.stdout)
+    return 0
+
+
+# -- validate -----------------------------------------------------------------
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.study == "traceroute":
+        from repro.validation import TracerouteStudyConfig, run_traceroute_study
+
+        result = run_traceroute_study(
+            TracerouteStudyConfig(
+                n_sites=args.sites,
+                n_targets=args.targets,
+                period_s=args.period_minutes * MINUTE,
+                duration_s=args.duration_hours * HOUR,
+                seed=args.seed,
+            )
+        )
+        print(result.summary())
+    elif args.study == "bgp":
+        from repro.validation import BgpStudyConfig, run_bgp_study
+
+        result = run_bgp_study(
+            BgpStudyConfig(
+                n_targets=args.targets,
+                duration_s=args.duration_hours * HOUR,
+                seed=args.seed,
+            )
+        )
+        print(result.summary())
+        for peers, change in result.figure5_points():
+            print(f"  {peers:3d} peers -> {change:.2%}")
+    else:
+        from repro.validation import StabilityConfig, run_route_stability_study
+
+        result = run_route_stability_study(
+            StabilityConfig(duration_s=args.duration_hours * HOUR, seed=args.seed)
+        )
+        for position, rate in result.curve():
+            bar = "#" * int(rate * 60)
+            print(f"  {position:4.2f} {rate:6.2%} {bar}")
+    return 0
+
+
+# -- experiment --------------------------------------------------------------
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.testbed import ExperimentParams, TestbedConfig, run_point
+
+    params = ExperimentParams(
+        attack_volume=args.attack_volume,
+        attack_peers=tuple(range(10)) if args.stress else (0,),
+        route_change_blocks=args.route_change,
+        rotate_allocations=args.route_change > 0 and args.rotate,
+        normal_flows_per_peer=args.flows,
+        enhanced=not args.basic,
+        runs=args.runs,
+        seed=args.seed,
+        suspect_capacity=25.0 if args.stress else None,
+    )
+    series = run_point(TestbedConfig(training_flows=args.training_flows), params)
+    print(
+        f"detection={series.detection_rate:.1%}"
+        f" (std {series.detection_rate_std:.1%})"
+        f" false_positives={series.false_positive_rate:.2%}"
+        f" (std {series.false_positive_rate_std:.2%})"
+        f" latency={series.latency_mean_s * 1e3:.3f} ms"
+    )
+    for name, (detected, total) in series.by_type().items():
+        print(f"  {name}: {detected}/{total}")
+    return 0
+
+
+# -- convert ---------------------------------------------------------------
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    records = _load_flows(args.input)
+    count = _save_flows(args.output, records, args.ascii)
+    print(f"converted {count} records -> {args.output}")
+    return 0
+
+
+# -- sample -------------------------------------------------------------------
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.netflow.sampling import sample_records
+
+    records = _load_flows(args.input)
+    rng = SeededRng(args.seed, "cli-sample")
+    sampled = list(sample_records(records, args.interval, rng=rng))
+    count = _save_flows(args.output, sampled, args.ascii)
+    print(
+        f"1-in-{args.interval} sampling: kept {count} of"
+        f" {len(records)} records -> {args.output}"
+    )
+    return 0
+
+
+# -- expand / aggregate (DAG packet traces) -----------------------------------
+
+
+def _cmd_expand(args: argparse.Namespace) -> int:
+    from repro.flowgen.dagfile import packets_from_flows, write_dag
+    from repro.flowgen.traces import TraceFlow
+
+    records = _load_flows(args.input)
+    # Records already carry concrete addresses; expand them verbatim.
+    flows = [
+        TraceFlow(
+            start_ms=record.first,
+            protocol=record.key.protocol,
+            src_port=record.key.src_port,
+            dst_port=record.key.dst_port,
+            packets=record.packets,
+            octets=record.octets,
+            duration_ms=record.duration_ms(),
+            dst_host=0,
+            tcp_flags=record.tcp_flags,
+        )
+        for record in records
+    ]
+    addresses = [(r.key.src_addr, r.key.dst_addr) for r in records]
+    index = {"i": -1}
+
+    def src_for(_flow):
+        index["i"] += 1
+        return addresses[index["i"]][0]
+
+    def dst_for(_flow):
+        return addresses[index["i"]][1]
+
+    packets = packets_from_flows(
+        flows, src_addr_for=src_for, dst_addr_for=dst_for,
+        rng=SeededRng(args.seed, "cli-expand"),
+    )
+    count = write_dag(args.output, packets)
+    print(f"expanded {len(records)} flows into {count} packets -> {args.output}")
+    return 0
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    from repro.flowgen.dagfile import flows_from_packets, read_dag
+
+    packets = read_dag(args.input)
+    records = flows_from_packets(packets, input_if=args.peer)
+    count = _save_flows(args.output, records, args.ascii)
+    print(f"aggregated {len(packets)} packets into {count} flows -> {args.output}")
+    return 0
+
+
+# -- filter -------------------------------------------------------------------
+
+
+def _cmd_filter(args: argparse.Namespace) -> int:
+    from repro.netflow.filters import parse_filter_expression
+
+    records = _load_flows(args.input)
+    flow_filter = parse_filter_expression(args.expression)
+    kept = list(flow_filter.apply(records))
+    count = _save_flows(args.output, kept, args.ascii)
+    print(
+        f"filter {flow_filter.description}:"
+        f" kept {count} of {len(records)} records -> {args.output}"
+    )
+    return 0
+
+
+# -- anonymize ---------------------------------------------------------------
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from repro.netflow.anonymize import PrefixPreservingAnonymizer
+
+    records = _load_flows(args.input)
+    anonymizer = PrefixPreservingAnonymizer(args.key.encode("utf-8"))
+    mapped = anonymizer.anonymize_all(records)
+    count = _save_flows(args.output, mapped, args.ascii)
+    print(
+        f"anonymized {count} records -> {args.output}"
+        f" (prefix-preserving, keyed)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="infilter",
+        description="InFilter: predictive ingress filtering (ICDCS 2005 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2005, help="global RNG seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    synth = commands.add_parser("synth", help="synthesise traffic into a flow file")
+    synth.add_argument("output")
+    synth.add_argument("--flows", type=int, default=1000)
+    synth.add_argument("--attack", choices=sorted(ATTACK_NAMES), default=None)
+    synth.add_argument("--peer", type=int, default=0)
+    synth.add_argument(
+        "--spoof",
+        action="store_true",
+        help="draw source addresses from the OTHER peers' blocks",
+    )
+    synth.add_argument("--target", default="198.18.0.0/16")
+    synth.add_argument("--ascii", action="store_true")
+    synth.set_defaults(handler=_cmd_synth)
+
+    report = commands.add_parser("report", help="flow statistics over a flow file")
+    report.add_argument("flow_file")
+    report.add_argument("--group-by", default="dst_port")
+    report.add_argument("--top", type=int, default=20)
+    report.add_argument(
+        "--format", choices=("table", "csv", "json"), default="table"
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    detect = commands.add_parser("detect", help="run the detector over a flow file")
+    detect.add_argument("flow_file")
+    detect.add_argument(
+        "eia_plan", nargs="?", default=None, help="'<peer> <prefix>' per line"
+    )
+    detect.add_argument("--training-file", default=None)
+    detect.add_argument("--basic", action="store_true", help="BI configuration")
+    detect.add_argument("--idmef", action="store_true", help="print IDMEF XML per alert")
+    detect.add_argument(
+        "--save-state", default=None, help="save detector state (JSON) after the run"
+    )
+    detect.add_argument(
+        "--load-state", default=None, help="restore detector state instead of training"
+    )
+    detect.set_defaults(handler=_cmd_detect)
+
+    validate = commands.add_parser("validate", help="Section 3 validation studies")
+    validate.add_argument("study", choices=("traceroute", "bgp", "stability"))
+    validate.add_argument("--sites", type=int, default=12)
+    validate.add_argument("--targets", type=int, default=10)
+    validate.add_argument("--period-minutes", type=float, default=30.0)
+    validate.add_argument("--duration-hours", type=float, default=24.0)
+    validate.set_defaults(handler=_cmd_validate)
+
+    experiment = commands.add_parser("experiment", help="one Section 6.3 point")
+    experiment.add_argument("--attack-volume", type=float, default=0.04)
+    experiment.add_argument("--stress", action="store_true", help="attacks at all peers")
+    experiment.add_argument("--route-change", type=int, default=2)
+    experiment.add_argument("--rotate", action="store_true")
+    experiment.add_argument("--basic", action="store_true")
+    experiment.add_argument("--flows", type=int, default=1000)
+    experiment.add_argument("--training-flows", type=int, default=2000)
+    experiment.add_argument("--runs", type=int, default=2)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    convert = commands.add_parser("convert", help="convert flow file formats")
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.add_argument("--ascii", action="store_true", help="write ASCII output")
+    convert.set_defaults(handler=_cmd_convert)
+
+    sample = commands.add_parser(
+        "sample", help="apply 1-in-N packet sampling to a flow file"
+    )
+    sample.add_argument("input")
+    sample.add_argument("output")
+    sample.add_argument("--interval", type=int, required=True)
+    sample.add_argument("--ascii", action="store_true")
+    sample.set_defaults(handler=_cmd_sample)
+
+    expand = commands.add_parser(
+        "expand", help="expand a flow file into a DAG packet trace"
+    )
+    expand.add_argument("input")
+    expand.add_argument("output")
+    expand.set_defaults(handler=_cmd_expand)
+
+    aggregate = commands.add_parser(
+        "aggregate", help="aggregate a DAG packet trace into a flow file"
+    )
+    aggregate.add_argument("input")
+    aggregate.add_argument("output")
+    aggregate.add_argument("--peer", type=int, default=0)
+    aggregate.add_argument("--ascii", action="store_true")
+    aggregate.set_defaults(handler=_cmd_aggregate)
+
+    flow_filter = commands.add_parser(
+        "filter", help="filter a flow file with key=value terms"
+    )
+    flow_filter.add_argument("input")
+    flow_filter.add_argument("output")
+    flow_filter.add_argument(
+        "expression",
+        help="space-separated key=value terms (AND; prefix ! negates),"
+        " e.g. 'proto=17 dport=1434 dst=198.18.0.0/16'",
+    )
+    flow_filter.add_argument("--ascii", action="store_true")
+    flow_filter.set_defaults(handler=_cmd_filter)
+
+    anonymize = commands.add_parser(
+        "anonymize", help="prefix-preserving address anonymization"
+    )
+    anonymize.add_argument("input")
+    anonymize.add_argument("output")
+    anonymize.add_argument(
+        "--key", required=True, help="anonymization key (>= 8 characters)"
+    )
+    anonymize.add_argument("--ascii", action="store_true")
+    anonymize.set_defaults(handler=_cmd_anonymize)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""The Enhanced InFilter detector: EIA sets, Scan Analysis, NNS, pipeline."""
+
+from repro.core.alerts import AlertSink, IdmefAlert, parse_idmef
+from repro.core.deployment import BorderRouter, Deployment
+from repro.core.persistence import load_detector, save_detector
+from repro.core.bootstrap import eia_from_bgp, eia_from_traceroutes, remap_peers
+from repro.core.traceback import IngressReport, TracebackAnalyzer
+from repro.core.clusters import (
+    PROTOCOL_CLASSES,
+    ClusterModel,
+    NormalCluster,
+    SubCluster,
+    protocol_class,
+)
+from repro.core.config import (
+    EIAConfig,
+    FeatureSpec,
+    NNSConfig,
+    OverloadConfig,
+    PipelineConfig,
+    ScanConfig,
+)
+from repro.core.eia import BasicInFilter, EIACheck, EIASet, EIAVerdict
+from repro.core.encoding import UnaryEncoder, hamming, parity_inner_product
+from repro.core.nns import NNSStructure, SearchResult, TrainingFlow
+from repro.core.pipeline import (
+    Decision,
+    EnhancedInFilter,
+    PipelineStats,
+    Stage,
+    Verdict,
+)
+from repro.core.scan import ScanAnalyzer, ScanVerdict
+
+__all__ = [
+    "AlertSink",
+    "BorderRouter",
+    "Deployment",
+    "load_detector",
+    "save_detector",
+    "eia_from_bgp",
+    "eia_from_traceroutes",
+    "remap_peers",
+    "IngressReport",
+    "TracebackAnalyzer",
+    "OverloadConfig",
+    "IdmefAlert",
+    "parse_idmef",
+    "PROTOCOL_CLASSES",
+    "ClusterModel",
+    "NormalCluster",
+    "SubCluster",
+    "protocol_class",
+    "EIAConfig",
+    "FeatureSpec",
+    "NNSConfig",
+    "PipelineConfig",
+    "ScanConfig",
+    "BasicInFilter",
+    "EIACheck",
+    "EIASet",
+    "EIAVerdict",
+    "UnaryEncoder",
+    "hamming",
+    "parity_inner_product",
+    "NNSStructure",
+    "SearchResult",
+    "TrainingFlow",
+    "Decision",
+    "EnhancedInFilter",
+    "PipelineStats",
+    "Stage",
+    "Verdict",
+    "ScanAnalyzer",
+    "ScanVerdict",
+]

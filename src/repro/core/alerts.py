@@ -1,0 +1,179 @@
+"""IDMEF alert generation (Section 5.1.4).
+
+When the analysis flags a flow it emits an alert in the Intrusion
+Detection Message Exchange Format.  :class:`IdmefAlert` carries the fields
+a consumer needs (analyzer identity, classification, source/target,
+assessment) and renders to IDMEF XML; :func:`parse_idmef` reads the XML
+back, which is what the Alert UI / downstream trace-back systems would do.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.netflow.records import FlowRecord
+from repro.util.errors import ReproError
+from repro.util.ip import format_ipv4, parse_ipv4
+
+__all__ = ["IdmefAlert", "AlertSink", "parse_idmef"]
+
+_ANALYZER_ID = "enhanced-infilter"
+
+
+@dataclass(frozen=True)
+class IdmefAlert:
+    """One IDMEF alert.
+
+    ``classification`` names the detection ("spoofed-source",
+    "network_scan", "host_scan", "nns-anomaly"); ``stage`` records which
+    pipeline stage fired; ``detect_time_ms`` is detector clock time.
+    """
+
+    ident: str
+    classification: str
+    stage: str
+    source_address: int
+    target_address: int
+    target_port: int
+    protocol: int
+    observed_peer: int
+    expected_peer: Optional[int]
+    detect_time_ms: int
+    severity: str = "medium"
+
+    @classmethod
+    def for_flow(
+        cls,
+        ident: str,
+        record: FlowRecord,
+        *,
+        classification: str,
+        stage: str,
+        expected_peer: Optional[int],
+        detect_time_ms: int,
+        severity: str = "medium",
+    ) -> "IdmefAlert":
+        """Build an alert describing one flagged flow."""
+        return cls(
+            ident=ident,
+            classification=classification,
+            stage=stage,
+            source_address=record.key.src_addr,
+            target_address=record.key.dst_addr,
+            target_port=record.key.dst_port,
+            protocol=record.key.protocol,
+            observed_peer=record.key.input_if,
+            expected_peer=expected_peer,
+            detect_time_ms=detect_time_ms,
+            severity=severity,
+        )
+
+    def to_xml(self) -> str:
+        """Render as an IDMEF-Message document."""
+        message = ET.Element("IDMEF-Message", {"version": "1.0"})
+        alert = ET.SubElement(message, "Alert", {"messageid": self.ident})
+        analyzer = ET.SubElement(
+            alert, "Analyzer", {"analyzerid": _ANALYZER_ID, "class": self.stage}
+        )
+        ET.SubElement(analyzer, "Node")
+        detect = ET.SubElement(alert, "DetectTime")
+        detect.text = str(self.detect_time_ms)
+        source = ET.SubElement(alert, "Source")
+        src_node = ET.SubElement(source, "Node")
+        src_addr = ET.SubElement(src_node, "Address", {"category": "ipv4-addr"})
+        ET.SubElement(src_addr, "address").text = format_ipv4(self.source_address)
+        target = ET.SubElement(alert, "Target")
+        tgt_node = ET.SubElement(target, "Node")
+        tgt_addr = ET.SubElement(tgt_node, "Address", {"category": "ipv4-addr"})
+        ET.SubElement(tgt_addr, "address").text = format_ipv4(self.target_address)
+        service = ET.SubElement(target, "Service")
+        ET.SubElement(service, "port").text = str(self.target_port)
+        ET.SubElement(service, "protocol").text = str(self.protocol)
+        classification = ET.SubElement(
+            alert, "Classification", {"text": self.classification}
+        )
+        ET.SubElement(
+            classification,
+            "Reference",
+            {"origin": "vendor-specific", "meaning": "pipeline-stage"},
+        ).text = self.stage
+        assessment = ET.SubElement(alert, "Assessment")
+        ET.SubElement(assessment, "Impact", {"severity": self.severity})
+        additional = ET.SubElement(
+            alert, "AdditionalData", {"type": "integer", "meaning": "observed-peer"}
+        )
+        additional.text = str(self.observed_peer)
+        if self.expected_peer is not None:
+            expected = ET.SubElement(
+                alert,
+                "AdditionalData",
+                {"type": "integer", "meaning": "expected-peer"},
+            )
+            expected.text = str(self.expected_peer)
+        return ET.tostring(message, encoding="unicode")
+
+
+def parse_idmef(xml_text: str) -> IdmefAlert:
+    """Parse an IDMEF-Message back into an :class:`IdmefAlert`."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as error:
+        raise ReproError(f"malformed IDMEF document: {error}") from error
+    alert = root.find("Alert")
+    if alert is None:
+        raise ReproError("IDMEF document has no Alert element")
+    classification = alert.find("Classification")
+    stage_el = alert.find("Analyzer")
+    source_addr = alert.findtext("Source/Node/Address/address")
+    target_addr = alert.findtext("Target/Node/Address/address")
+    if classification is None or source_addr is None or target_addr is None:
+        raise ReproError("IDMEF alert missing required elements")
+    observed_peer: Optional[int] = None
+    expected_peer: Optional[int] = None
+    for extra in alert.findall("AdditionalData"):
+        meaning = extra.get("meaning")
+        if meaning == "observed-peer" and extra.text is not None:
+            observed_peer = int(extra.text)
+        elif meaning == "expected-peer" and extra.text is not None:
+            expected_peer = int(extra.text)
+    severity_el = alert.find("Assessment/Impact")
+    return IdmefAlert(
+        ident=alert.get("messageid", ""),
+        classification=classification.get("text", ""),
+        stage=(stage_el.get("class", "") if stage_el is not None else ""),
+        source_address=parse_ipv4(source_addr),
+        target_address=parse_ipv4(target_addr),
+        target_port=int(alert.findtext("Target/Service/port") or 0),
+        protocol=int(alert.findtext("Target/Service/protocol") or 0),
+        observed_peer=observed_peer if observed_peer is not None else 0,
+        expected_peer=expected_peer,
+        detect_time_ms=int(alert.findtext("DetectTime") or 0),
+        severity=(severity_el.get("severity", "medium") if severity_el is not None else "medium"),
+    )
+
+
+class AlertSink:
+    """An in-memory IDMEF consumer (the Alert UI role).
+
+    Stores alerts and exposes simple queries; a real deployment would
+    forward the XML to a SIEM or trace-back system instead.
+    """
+
+    def __init__(self) -> None:
+        self.alerts: List[IdmefAlert] = []
+
+    def consume(self, alert: IdmefAlert) -> None:
+        self.alerts.append(alert)
+
+    def consume_xml(self, xml_text: str) -> IdmefAlert:
+        alert = parse_idmef(xml_text)
+        self.alerts.append(alert)
+        return alert
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def by_classification(self, classification: str) -> List[IdmefAlert]:
+        return [a for a in self.alerts if a.classification == classification]

@@ -1,0 +1,122 @@
+"""EIA-set initialisation from routing data (Section 5.2, training phase).
+
+The paper offers three ways to compute the Expected-IP-Address sets; two
+of them derive from routing measurements rather than observed traffic:
+
+* **BGP** (Section 3.2): parse the target network's ``show ip bgp`` view,
+  derive the peer-AS → source-AS mapping per the best-path-suffix
+  argument, then translate source ASes into the prefixes they originate;
+* **traceroute** (Section 3.1): run traceroutes from cooperating vantage
+  networks toward the target, record which peer/border-router pair each
+  vantage's traffic arrives through, and credit the vantage's prefixes to
+  that peer.
+
+Both functions return a ``prefix → peer`` mapping consumable by
+:meth:`repro.core.eia.BasicInFilter.initialize_from_ingress_map`, keyed
+by the *peer ASN*; callers with interface-indexed detectors can remap
+with ``peer_interfaces``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.routing.bgp import RouteCollector
+from repro.routing.table import derive_ingress_map, parse_show_ip_bgp, render_show_ip_bgp
+from repro.routing.topology import ASTopology
+from repro.routing.traceroute import TracerouteSimulator
+from repro.util.errors import RoutingError
+from repro.util.ip import Prefix
+
+__all__ = ["eia_from_bgp", "eia_from_traceroutes", "remap_peers"]
+
+
+def eia_from_bgp(
+    topology: ASTopology,
+    collector: RouteCollector,
+    target_address: int,
+    *,
+    origin: Optional[int] = None,
+) -> Dict[Prefix, int]:
+    """Derive an EIA initialisation map from a collector's BGP view.
+
+    The per-source-AS ingress peers come from the parsed ``show ip bgp``
+    table (the full textual pipeline runs, exactly as an operational
+    deployment consuming Routeviews data would); each source AS then
+    contributes every prefix it originates.
+    """
+    if origin is None:
+        located = topology.origin_of(target_address)
+        if located is None:
+            raise RoutingError("target address is not originated by any AS")
+        origin = located[0]
+    prefixes = [
+        (prefix, origin) for prefix in topology.nodes[origin].prefixes
+    ]
+    if not prefixes:
+        raise RoutingError(f"target AS {origin} originates no prefixes")
+    entries = collector.snapshot(prefixes)
+    routes = parse_show_ip_bgp(render_show_ip_bgp(entries))
+    mapping = derive_ingress_map(routes, origin, target_address)
+    result: Dict[Prefix, int] = {}
+    for source_as, peer in mapping.peer_of_source.items():
+        node = topology.nodes.get(source_as)
+        if node is None:
+            continue
+        for prefix in node.prefixes:
+            result[prefix] = peer
+    return result
+
+
+def eia_from_traceroutes(
+    topology: ASTopology,
+    simulator: TracerouteSimulator,
+    target_address: int,
+    vantages: Sequence[int],
+    *,
+    samples_per_vantage: int = 3,
+) -> Dict[Prefix, int]:
+    """Derive an EIA initialisation map from cooperative traceroutes.
+
+    Each vantage runs a few traceroutes to the target; the modal last
+    AS-level hop (the hop before the target's border router) identifies
+    the peer its traffic uses, and the vantage's prefixes are credited to
+    that peer.  Vantages whose traces never complete are skipped.
+    """
+    if samples_per_vantage < 1:
+        raise RoutingError("need at least one sample per vantage")
+    result: Dict[Prefix, int] = {}
+    for vantage in vantages:
+        votes: Dict[int, int] = {}
+        for _ in range(samples_per_vantage):
+            trace = simulator.trace(vantage, target_address)
+            last = trace.last_hop()
+            if last is None:
+                continue
+            votes[last.peer.asn] = votes.get(last.peer.asn, 0) + 1
+        if not votes:
+            continue
+        peer = max(votes.items(), key=lambda item: (item[1], -item[0]))[0]
+        node = topology.nodes.get(vantage)
+        if node is None:
+            continue
+        for prefix in node.prefixes:
+            result[prefix] = peer
+    return result
+
+
+def remap_peers(
+    mapping: Mapping[Prefix, int], peer_interfaces: Mapping[int, int]
+) -> Dict[Prefix, int]:
+    """Translate peer ASNs to local interface indices.
+
+    A deployment's NetFlow records carry ``input_if`` (an ifIndex), not
+    peer ASNs; ``peer_interfaces`` maps each peer ASN to the interface it
+    is attached on.  Prefixes whose peer has no interface entry are
+    dropped (the target has no direct adjacency to flag them against).
+    """
+    return {
+        prefix: peer_interfaces[peer]
+        for prefix, peer in mapping.items()
+        if peer in peer_interfaces
+    }

@@ -1,0 +1,196 @@
+"""Configuration objects for the Enhanced InFilter detector.
+
+Defaults reproduce the paper's experimental settings: the NNS parameters
+d=720, M1=1, M2=12, M3=3 (Section 4.2), a ~200-flow scan-analysis buffer
+(Section 4.1), and /11 EIA granularity matching the testbed's address
+sub-blocks (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.util.errors import ConfigError
+
+__all__ = [
+    "FeatureSpec",
+    "NNSConfig",
+    "ScanConfig",
+    "EIAConfig",
+    "OverloadConfig",
+    "PipelineConfig",
+]
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One flow characteristic and its unary-encoding interval.
+
+    Values in ``[low, high]`` are divided into ``bits`` equal intervals;
+    values outside the range clamp to the nearest end (a flow bigger than
+    anything seen in training is "maximally far" in that dimension, which
+    is the behaviour anomaly detection wants).
+    """
+
+    name: str
+    low: float
+    high: float
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise ConfigError(f"feature {self.name}: empty range")
+        if self.bits < 1:
+            raise ConfigError(f"feature {self.name}: need at least one bit")
+
+
+def _default_features() -> Tuple[FeatureSpec, ...]:
+    # 5 features x 144 bits = d = 720, the paper's dimension.  Ranges are
+    # log-scale-free caps chosen to cover the synthetic trace mix; the
+    # encoder clamps outliers.
+    return (
+        FeatureSpec("octets", 0.0, 1_500_000.0, 144),
+        FeatureSpec("packets", 0.0, 1_000.0, 144),
+        FeatureSpec("duration_ms", 0.0, 120_000.0, 144),
+        FeatureSpec("bit_rate", 0.0, 10_000_000.0, 144),
+        FeatureSpec("packet_rate", 0.0, 10_000.0, 144),
+    )
+
+
+@dataclass(frozen=True)
+class NNSConfig:
+    """Parameters of the KOR nearest-neighbour structure (Section 4.2).
+
+    ``m1`` structures per distance scale, ``m2`` test vectors (trace bits)
+    per structure, ``m3`` the Hamming ball radius for table placement.
+    ``threshold_quantile`` sets each subcluster's distance threshold at
+    that quantile of intra-cluster nearest-neighbour distances, scaled by
+    ``threshold_slack``.
+    """
+
+    features: Tuple[FeatureSpec, ...] = field(default_factory=_default_features)
+    m1: int = 1
+    m2: int = 12
+    m3: int = 3
+    threshold_quantile: float = 0.99
+    threshold_slack: float = 1.25
+    seed: int = 20050605
+
+    def __post_init__(self) -> None:
+        if self.m1 < 1:
+            raise ConfigError("m1 must be at least 1")
+        if not 1 <= self.m2 <= 24:
+            raise ConfigError("m2 must be in [1, 24] (table has 2^m2 entries)")
+        if not 0 < self.m3 <= self.m2:
+            raise ConfigError("m3 must be in (0, m2]")
+        if not 0.0 < self.threshold_quantile <= 1.0:
+            raise ConfigError("threshold_quantile must be in (0, 1]")
+        if self.threshold_slack <= 0:
+            raise ConfigError("threshold_slack must be positive")
+
+    @property
+    def dimension(self) -> int:
+        """Total unary dimension d (720 with the default features)."""
+        return sum(spec.bits for spec in self.features)
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Scan Analysis parameters (Section 4.1).
+
+    The buffer holds the most recent suspect flows; a network scan fires
+    when one destination port is targeted on at least
+    ``network_scan_threshold`` distinct hosts, a host scan when one host is
+    targeted on at least ``host_scan_threshold`` distinct ports.
+    """
+
+    buffer_size: int = 200
+    network_scan_threshold: int = 8
+    host_scan_threshold: int = 8
+
+    def __post_init__(self) -> None:
+        if self.buffer_size < 1:
+            raise ConfigError("buffer_size must be positive")
+        if self.network_scan_threshold < 2 or self.host_scan_threshold < 2:
+            raise ConfigError("scan thresholds below 2 would fire on any flow")
+
+
+@dataclass(frozen=True)
+class EIAConfig:
+    """Expected-IP-Address set parameters (Sections 3 and 5).
+
+    ``granularity`` is the prefix length at which sources are remembered
+    (/11 matches the testbed's address sub-blocks).  ``learning_threshold``
+    is the number of benign-assessed flows from an unexpected source after
+    which the source is absorbed into the observing peer AS's EIA set —
+    the route-change adaptation rule of Section 5.2(a).
+    """
+
+    granularity: int = 11
+    learning_threshold: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0 < self.granularity <= 32:
+            raise ConfigError("granularity must be a valid prefix length")
+        if self.learning_threshold < 1:
+            raise ConfigError("learning_threshold must be positive")
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Saturation model of the analysis software (Section 6.3.2).
+
+    The paper's stress experiment drives the prototype past its capacity;
+    detection degrades and false positives rise.  This model reproduces
+    that: when the *suspect* arrival rate exceeds
+    ``suspect_capacity_per_s`` (measured over ``window_ms`` of flow
+    time), excess suspects are handled in degraded mode — a
+    ``drop_fraction`` share is dropped unanalysed (missed if hostile),
+    the rest is flagged without Scan/NNS analysis (a false positive if
+    benign).  ``suspect_capacity_per_s=None`` disables the model, which
+    is the library default.
+    """
+
+    suspect_capacity_per_s: Optional[float] = None
+    drop_fraction: float = 0.5
+    window_ms: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.suspect_capacity_per_s is not None and self.suspect_capacity_per_s <= 0:
+            raise ConfigError("suspect capacity must be positive or None")
+        if not 0.0 <= self.drop_fraction <= 1.0:
+            raise ConfigError("drop_fraction is a fraction")
+        if self.window_ms < 1:
+            raise ConfigError("window_ms must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.suspect_capacity_per_s is not None
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Top-level detector configuration.
+
+    ``enhanced=False`` is the paper's BI configuration (EIA analysis
+    alone); ``enhanced=True`` adds Scan Analysis and NNS Search (EI).
+    """
+
+    eia: EIAConfig = EIAConfig()
+    scan: ScanConfig = ScanConfig()
+    nns: NNSConfig = NNSConfig()
+    overload: OverloadConfig = OverloadConfig()
+    enhanced: bool = True
+    #: Flag flows whose protocol class has no training data (conservative).
+    flag_unmodelled_classes: bool = True
+
+    @classmethod
+    def basic(cls) -> "PipelineConfig":
+        """The BI configuration of Section 6.3."""
+        return cls(enhanced=False)
+
+    @classmethod
+    def enhanced_default(cls) -> "PipelineConfig":
+        """The EI configuration of Section 6.3."""
+        return cls(enhanced=True)

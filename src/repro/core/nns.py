@@ -1,0 +1,213 @@
+"""Approximate nearest-neighbour search in Hamming space (Section 4.2).
+
+Implements the Kushilevitz–Ostrovsky–Rabani construction the paper uses
+([KOR], Figures 6–8): per distance scale ``t`` in ``[1, d]`` a
+substructure holds ``M1`` trace tables; each table is keyed by an
+``M2``-bit *trace* — the GF(2) inner products of the flow's unary encoding
+with ``M2`` random test vectors whose bits are one with probability
+``b/2 = 1/(4t)``; a training flow occupies every table entry within
+Hamming ball radius ``M3`` of its own trace.  The search (Figure 8) binary
+searches the scale axis: a non-empty entry at scale ``t`` means a training
+flow is probably within distance ~``t``, so the search continues on
+smaller scales, and the flow in the last non-empty entry visited is
+returned.
+
+Two engineering notes, both behaviour-preserving:
+
+* tables store each flow under its *exact* trace and the probe walks the
+  radius-``M3`` ball around the query trace — set-equivalent to the
+  paper's ball *insertion*, but O(1) instead of O(ball) per flow insert;
+* scales are built lazily on first probe: a binary search touches
+  O(log d) of the ``d`` scales, so eager construction of all 720 would be
+  ~70x wasted work.  ``build_all_scales`` exists for exhaustive tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import NNSConfig
+from repro.core.encoding import UnaryEncoder, hamming, parity_inner_product
+from repro.netflow.records import FlowStats
+from repro.util.errors import TrainingError
+from repro.util.rng import SeededRng
+
+__all__ = ["TrainingFlow", "SearchResult", "NNSStructure"]
+
+
+@dataclass(frozen=True)
+class TrainingFlow:
+    """One training point: its statistics and unary encoding."""
+
+    index: int
+    stats: FlowStats
+    encoded: int
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """The neighbour the search returned, with its exact distance."""
+
+    flow: TrainingFlow
+    distance: int
+    scale: int
+
+
+def _ball_deltas(m2: int, m3: int) -> Tuple[int, ...]:
+    """All m2-bit XOR masks with fewer than ``m3`` bits set.
+
+    XORing the query trace with each delta enumerates exactly the table
+    entries whose Hamming distance from the trace is < m3.
+    """
+    deltas: List[int] = [0]
+    for weight in range(1, m3):
+        for positions in combinations(range(m2), weight):
+            mask = 0
+            for position in positions:
+                mask |= 1 << position
+            deltas.append(mask)
+    return tuple(deltas)
+
+
+class _TraceTable:
+    """One T_ij: M2 test vectors plus the trace-keyed flow table."""
+
+    __slots__ = ("test_vectors", "table")
+
+    def __init__(
+        self,
+        flows: Sequence[TrainingFlow],
+        dimension: int,
+        m2: int,
+        b: float,
+        rng: SeededRng,
+    ) -> None:
+        self.test_vectors = [
+            _random_test_vector(dimension, b / 2.0, rng) for _ in range(m2)
+        ]
+        self.table: Dict[int, List[TrainingFlow]] = {}
+        for flow in flows:
+            trace = self._trace(flow.encoded)
+            self.table.setdefault(trace, []).append(flow)
+
+    def _trace(self, encoded: int) -> int:
+        trace = 0
+        for bit_index, vector in enumerate(self.test_vectors):
+            if parity_inner_product(vector, encoded):
+                trace |= 1 << bit_index
+        return trace
+
+    def probe(self, encoded: int, deltas: Tuple[int, ...]) -> List[TrainingFlow]:
+        """Flows stored within the M3-ball of the query's trace."""
+        trace = self._trace(encoded)
+        hits: List[TrainingFlow] = []
+        for delta in deltas:
+            bucket = self.table.get(trace ^ delta)
+            if bucket:
+                hits.extend(bucket)
+        return hits
+
+
+def _random_test_vector(dimension: int, probability_of_one: float, rng: SeededRng) -> int:
+    vector = 0
+    for position in range(dimension):
+        if rng.bernoulli(probability_of_one):
+            vector |= 1 << position
+    return vector
+
+
+class NNSStructure:
+    """The full KOR search structure over one training cluster."""
+
+    def __init__(
+        self,
+        encoder: UnaryEncoder,
+        config: NNSConfig,
+        flows: Sequence[TrainingFlow],
+        *,
+        rng: SeededRng,
+    ) -> None:
+        if not flows:
+            raise TrainingError("cannot build an NNS structure with no flows")
+        self.encoder = encoder
+        self.config = config
+        self.flows = list(flows)
+        self._rng = rng
+        self._pick_rng = rng.fork("structure-pick")
+        self._deltas = _ball_deltas(config.m2, config.m3)
+        self._scales: Dict[int, List[_TraceTable]] = {}
+        self.scales_built = 0
+
+    @property
+    def dimension(self) -> int:
+        return self.encoder.dimension
+
+    def _tables_for(self, scale: int) -> List[_TraceTable]:
+        tables = self._scales.get(scale)
+        if tables is None:
+            b = 1.0 / (2.0 * scale)
+            scale_rng = self._rng.fork(f"scale-{scale}")
+            tables = [
+                _TraceTable(
+                    self.flows,
+                    self.dimension,
+                    self.config.m2,
+                    b,
+                    scale_rng.fork(f"table-{j}"),
+                )
+                for j in range(self.config.m1)
+            ]
+            self._scales[scale] = tables
+            self.scales_built += 1
+        return tables
+
+    def build_all_scales(self) -> None:
+        """Eagerly build every scale (exhaustive-test / offline mode)."""
+        for scale in range(1, self.dimension + 1):
+            self._tables_for(scale)
+
+    def nearest(self, encoded: int) -> Optional[SearchResult]:
+        """Figure 8: binary search over distance scales.
+
+        Returns the flow from the last non-empty entry visited, or None
+        when every probed scale came up empty (possible only for queries
+        far from all training data at every scale).
+        """
+        low, high = 1, self.dimension
+        best: Optional[Tuple[TrainingFlow, int]] = None
+        while low <= high:
+            scale = (low + high) // 2
+            tables = self._tables_for(scale)
+            table = (
+                tables[0]
+                if len(tables) == 1
+                else self._pick_rng.choice(tables)
+            )
+            hits = table.probe(encoded, self._deltas)
+            if hits:
+                # Deterministic pick inside the entry: the closest by true
+                # Hamming distance, ties to the earliest training index.
+                chosen = min(
+                    hits, key=lambda f: (hamming(f.encoded, encoded), f.index)
+                )
+                best = (chosen, scale)
+                high = scale - 1
+            else:
+                low = scale + 1
+        if best is None:
+            return None
+        flow, scale = best
+        return SearchResult(
+            flow=flow, distance=hamming(flow.encoded, encoded), scale=scale
+        )
+
+    def nearest_exact(self, encoded: int) -> SearchResult:
+        """Brute-force exact nearest neighbour (calibration & testing)."""
+        flow = min(
+            self.flows, key=lambda f: (hamming(f.encoded, encoded), f.index)
+        )
+        return SearchResult(
+            flow=flow, distance=hamming(flow.encoded, encoded), scale=0
+        )

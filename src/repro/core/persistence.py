@@ -1,0 +1,190 @@
+"""Detector state persistence.
+
+Section 4.2: "the search data structure may be constructed off-line;
+without requiring access to network traffic" — an operational deployment
+trains once and restarts many times.  This module saves and restores an
+:class:`EnhancedInFilter` as a JSON document:
+
+* the full configuration (every dataclass knob),
+* the EIA sets (peer → prefix list) and pending absorption counters,
+* the training flows' statistic vectors.
+
+On load, the cluster model is *rebuilt deterministically* from the saved
+statistics and the saved RNG seed — the KOR structures' test vectors are
+a pure function of (seed, config), so the restored model is identical to
+the saved one without serializing the (lazily built, potentially large)
+per-scale tables.  The one non-restored detail: with ``m1 > 1`` the
+random table pick of in-flight searches restarts from the stream's
+origin (with the default ``m1 = 1`` searches are fully deterministic
+anyway).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional, TextIO, Union
+
+from repro.core.config import (
+    EIAConfig,
+    FeatureSpec,
+    NNSConfig,
+    OverloadConfig,
+    PipelineConfig,
+    ScanConfig,
+)
+from repro.core.pipeline import EnhancedInFilter
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.errors import ConfigError, ReproError
+from repro.util.ip import Prefix
+from repro.util.rng import SeededRng
+
+__all__ = ["save_detector", "load_detector", "STATE_FORMAT_VERSION"]
+
+STATE_FORMAT_VERSION = 1
+
+
+def _config_to_dict(config: PipelineConfig) -> dict:
+    return {
+        "eia": asdict(config.eia),
+        "scan": asdict(config.scan),
+        "nns": {
+            "features": [asdict(spec) for spec in config.nns.features],
+            "m1": config.nns.m1,
+            "m2": config.nns.m2,
+            "m3": config.nns.m3,
+            "threshold_quantile": config.nns.threshold_quantile,
+            "threshold_slack": config.nns.threshold_slack,
+            "seed": config.nns.seed,
+        },
+        "overload": asdict(config.overload),
+        "enhanced": config.enhanced,
+        "flag_unmodelled_classes": config.flag_unmodelled_classes,
+    }
+
+
+def _config_from_dict(data: dict) -> PipelineConfig:
+    return PipelineConfig(
+        eia=EIAConfig(**data["eia"]),
+        scan=ScanConfig(**data["scan"]),
+        nns=NNSConfig(
+            features=tuple(
+                FeatureSpec(**spec) for spec in data["nns"]["features"]
+            ),
+            m1=data["nns"]["m1"],
+            m2=data["nns"]["m2"],
+            m3=data["nns"]["m3"],
+            threshold_quantile=data["nns"]["threshold_quantile"],
+            threshold_slack=data["nns"]["threshold_slack"],
+            seed=data["nns"]["seed"],
+        ),
+        overload=OverloadConfig(**data["overload"]),
+        enhanced=data["enhanced"],
+        flag_unmodelled_classes=data["flag_unmodelled_classes"],
+    )
+
+
+def save_detector(
+    detector: EnhancedInFilter,
+    destination: Union[str, Path, TextIO],
+    *,
+    training_records: Optional[List[FlowRecord]] = None,
+) -> None:
+    """Serialize detector state to JSON.
+
+    ``training_records`` must be the records the detector was trained
+    with when the detector has a model (the model itself stores only
+    derived statistics; the records' key fields are what `load` needs to
+    rebuild it deterministically).
+    """
+    if detector.model is not None and training_records is None:
+        training_records = getattr(detector, "_persisted_training", None)
+    if detector.model is not None and training_records is None:
+        raise ConfigError(
+            "a trained detector needs its training_records to be saved"
+        )
+    state = {
+        "format": STATE_FORMAT_VERSION,
+        "config": _config_to_dict(detector.config),
+        "rng": {"seed": detector._rng.seed, "name": detector._rng.name},
+        "eia_sets": {
+            str(peer): [str(prefix) for prefix in detector.infilter.eia_set(peer).prefixes()]
+            for peer in detector.infilter.peers()
+        },
+        "pending": [
+            {"peer": peer, "prefix": str(prefix), "count": count}
+            for (peer, prefix), count in detector.infilter.pending_counts().items()
+        ],
+        "alert_counter": detector._alert_counter,
+        "trained": detector.model is not None,
+        "training": [
+            {
+                "src": record.key.src_addr,
+                "dst": record.key.dst_addr,
+                "proto": record.key.protocol,
+                "sport": record.key.src_port,
+                "dport": record.key.dst_port,
+                "iface": record.key.input_if,
+                "packets": record.packets,
+                "octets": record.octets,
+                "first": record.first,
+                "last": record.last,
+            }
+            for record in (training_records or [])
+        ],
+    }
+    text = json.dumps(state)
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text)
+    else:
+        destination.write(text)
+
+
+def load_detector(source: Union[str, Path, TextIO]) -> EnhancedInFilter:
+    """Restore a detector saved by :func:`save_detector`."""
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text()
+    else:
+        text = source.read()
+    try:
+        state = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"malformed detector state: {error}") from error
+    if state.get("format") != STATE_FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported detector state format {state.get('format')!r}"
+        )
+    config = _config_from_dict(state["config"])
+    rng = SeededRng(state["rng"]["seed"], state["rng"]["name"])
+    detector = EnhancedInFilter(config, rng=rng)
+    for peer_text, prefixes in state["eia_sets"].items():
+        detector.preload_eia(
+            int(peer_text), [Prefix.parse(p) for p in prefixes]
+        )
+    if state["trained"]:
+        records = [
+            FlowRecord(
+                key=FlowKey(
+                    src_addr=entry["src"],
+                    dst_addr=entry["dst"],
+                    protocol=entry["proto"],
+                    src_port=entry["sport"],
+                    dst_port=entry["dport"],
+                    input_if=entry["iface"],
+                ),
+                packets=entry["packets"],
+                octets=entry["octets"],
+                first=entry["first"],
+                last=entry["last"],
+            )
+            for entry in state["training"]
+        ]
+        detector.train(records)
+        # Stash for a later save_detector on the restored instance.
+        detector._persisted_training = records
+    for entry in state["pending"]:
+        key = (int(entry["peer"]), Prefix.parse(entry["prefix"]))
+        detector.infilter._pending[key] = int(entry["count"])
+    detector._alert_counter = int(state["alert_counter"])
+    return detector

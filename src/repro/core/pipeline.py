@@ -1,0 +1,332 @@
+"""The Enhanced InFilter pipeline (Section 5).
+
+Wires the stages together in the paper's normal-processing order
+(Figure 12):
+
+1. **EIA set analysis** — a flow whose source is expected at the peer it
+   arrived through is legal; anything else is a *suspect flow*;
+2. **Scan Analysis** — suspect flows feed the scan buffer; a completed
+   network/host-scan pattern is an attack;
+3. **NNS Search** — remaining suspects are compared with their protocol
+   class's normal subcluster; beyond the distance threshold is an attack,
+   within it the flow is assessed benign and contributes toward EIA
+   absorption of its (route-changed) source block.
+
+``PipelineConfig(enhanced=False)`` stops after stage 1 and flags every
+suspect — the paper's BI configuration.  Attacks produce IDMEF alerts.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.alerts import AlertSink, IdmefAlert
+from repro.core.clusters import ClusterModel
+from repro.core.config import PipelineConfig
+from repro.core.eia import BasicInFilter, EIACheck
+from repro.core.nns import SearchResult
+from repro.core.scan import ScanAnalyzer, ScanVerdict
+from repro.netflow.records import FlowRecord
+from repro.util.errors import TrainingError
+from repro.util.rng import SeededRng
+
+__all__ = ["Verdict", "Stage", "Decision", "PipelineStats", "EnhancedInFilter"]
+
+
+class Verdict:
+    """Final assessment of one flow."""
+
+    LEGAL = "legal"            # expected ingress: never entered analysis
+    BENIGN = "benign"          # suspect, but analysis cleared it
+    ATTACK = "attack"
+
+
+class Stage:
+    """Pipeline stage that produced the decision."""
+
+    EIA = "eia"
+    SCAN = "scan"
+    NNS = "nns"
+    OVERLOAD = "overload"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Everything the pipeline concluded about one flow."""
+
+    verdict: str
+    stage: str
+    eia: EIACheck
+    scan: Optional[ScanVerdict] = None
+    neighbour: Optional[SearchResult] = None
+    protocol_class: Optional[str] = None
+    alert: Optional[IdmefAlert] = None
+    absorbed: bool = False
+    latency_s: float = 0.0
+
+    @property
+    def is_attack(self) -> bool:
+        return self.verdict == Verdict.ATTACK
+
+
+@dataclass
+class PipelineStats:
+    """Operational counters, including per-flow processing latency."""
+
+    processed: int = 0
+    legal: int = 0
+    suspects: int = 0
+    benign: int = 0
+    attacks: int = 0
+    absorbed: int = 0
+    attacks_by_stage: Dict[str, int] = field(default_factory=dict)
+    overload_dropped: int = 0
+    overload_flagged: int = 0
+    latency_total_s: float = 0.0
+    latency_max_s: float = 0.0
+    #: per-flow latency samples for percentile queries, capped to bound
+    #: memory on long runs (the mean/max above are exact regardless).
+    latency_samples: List[float] = field(default_factory=list)
+    latency_sample_cap: int = 100_000
+
+    def note(self, decision: Decision) -> None:
+        self.processed += 1
+        self.latency_total_s += decision.latency_s
+        self.latency_max_s = max(self.latency_max_s, decision.latency_s)
+        if len(self.latency_samples) < self.latency_sample_cap:
+            self.latency_samples.append(decision.latency_s)
+        if decision.verdict == Verdict.LEGAL:
+            self.legal += 1
+            return
+        self.suspects += 1
+        if decision.absorbed:
+            self.absorbed += 1
+        if decision.verdict == Verdict.BENIGN:
+            self.benign += 1
+        else:
+            self.attacks += 1
+            self.attacks_by_stage[decision.stage] = (
+                self.attacks_by_stage.get(decision.stage, 0) + 1
+            )
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.latency_total_s / self.processed if self.processed else 0.0
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Latency at the given quantile in [0, 1] over the sampled flows."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.latency_samples:
+            return 0.0
+        ordered = sorted(self.latency_samples)
+        index = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return ordered[index]
+
+
+class EnhancedInFilter:
+    """The complete detector.
+
+    Typical lifecycle::
+
+        detector = EnhancedInFilter(PipelineConfig())
+        detector.initialize_eia_from_flows(training_records)   # mode (a)
+        detector.train(training_records)                       # modes (b)-(d)
+        for record in live_records:                            # mode (e)
+            decision = detector.process(record)
+
+    ``alert_sink`` receives an IDMEF alert per attack decision.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        *,
+        alert_sink: Optional[AlertSink] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.config = config
+        self.infilter = BasicInFilter(config.eia)
+        self.scan = ScanAnalyzer(config.scan)
+        self.model: Optional[ClusterModel] = None
+        self.alert_sink = alert_sink if alert_sink is not None else AlertSink()
+        self.stats = PipelineStats()
+        self._rng = rng if rng is not None else SeededRng(config.nns.seed, "pipeline")
+        self._alert_counter = 0
+        # Overload model state: recent suspect timestamps (flow-time ms)
+        # and a counter driving the deterministic drop/flag split.
+        self._suspect_times: deque = deque()
+        self._overload_counter = 0
+
+    # -- training-phase entry points (Section 5.1.3 modes a-d) -------------
+
+    def preload_eia(self, peer: int, prefixes: Iterable) -> None:
+        """Mode (a), by hand: assign expected blocks to a peer AS."""
+        self.infilter.preload(peer, prefixes)
+
+    def initialize_eia_from_flows(self, records: Iterable[FlowRecord]) -> None:
+        """Mode (a), from live traffic."""
+        self.infilter.initialize_from_flows(records)
+
+    def train(self, records: Sequence[FlowRecord]) -> None:
+        """Modes (b)-(d): build the normal cluster model.
+
+        Only needed for the EI configuration; a BI detector may skip it.
+        """
+        self.model = ClusterModel.train(
+            records, self.config.nns, rng=self._rng.fork("model")
+        )
+
+    # -- online operation (mode e) ------------------------------------------
+
+    def process(self, record: FlowRecord) -> Decision:
+        """Assess one incoming flow and update detector state."""
+        started = time.perf_counter()
+        eia = self.infilter.check(record)
+        if not eia.suspect:
+            decision = Decision(
+                verdict=Verdict.LEGAL,
+                stage=Stage.EIA,
+                eia=eia,
+                latency_s=time.perf_counter() - started,
+            )
+            self.stats.note(decision)
+            return decision
+
+        if not self.config.enhanced:
+            decision = self._attack(
+                record, eia, Stage.EIA, "spoofed-source", started
+            )
+            self.stats.note(decision)
+            return decision
+
+        if self._over_capacity(record.last):
+            decision = self._degraded(record, eia, started)
+            self.stats.note(decision)
+            return decision
+
+        scan_verdict = self.scan.observe(record)
+        if scan_verdict.is_scan:
+            decision = self._attack(
+                record,
+                eia,
+                Stage.SCAN,
+                scan_verdict.kind or "scan",
+                started,
+                scan=scan_verdict,
+            )
+            self.stats.note(decision)
+            return decision
+
+        if self.model is None:
+            raise TrainingError(
+                "enhanced pipeline processed a suspect flow before train()"
+            )
+        is_normal, neighbour, class_name = self.model.assess(record)
+        if is_normal is None:
+            is_normal = not self.config.flag_unmodelled_classes
+        if is_normal:
+            absorbed = self.infilter.note_benign(record)
+            decision = Decision(
+                verdict=Verdict.BENIGN,
+                stage=Stage.NNS,
+                eia=eia,
+                scan=scan_verdict,
+                neighbour=neighbour,
+                protocol_class=class_name,
+                absorbed=absorbed,
+                latency_s=time.perf_counter() - started,
+            )
+        else:
+            decision = self._attack(
+                record,
+                eia,
+                Stage.NNS,
+                "nns-anomaly",
+                started,
+                scan=scan_verdict,
+                neighbour=neighbour,
+                protocol_class=class_name,
+            )
+        self.stats.note(decision)
+        return decision
+
+    def process_all(self, records: Iterable[FlowRecord]) -> List[Decision]:
+        """Convenience: assess a record stream, returning all decisions."""
+        return [self.process(record) for record in records]
+
+    # -- internals ------------------------------------------------------------
+
+    def _over_capacity(self, now_ms: int) -> bool:
+        """The Section 6.3.2 saturation check, in flow time.
+
+        Counts suspects inside the sliding window and compares the implied
+        rate with the configured analysis capacity.
+        """
+        overload = self.config.overload
+        if not overload.enabled:
+            return False
+        window_start = now_ms - overload.window_ms
+        times = self._suspect_times
+        times.append(now_ms)
+        while times and times[0] < window_start:
+            times.popleft()
+        rate = len(times) * 1000.0 / overload.window_ms
+        return rate > overload.suspect_capacity_per_s
+
+    def _degraded(self, record: FlowRecord, eia: EIACheck, started: float) -> Decision:
+        """Handle an over-capacity suspect: drop or flag unanalysed."""
+        overload = self.config.overload
+        self._overload_counter += 1
+        threshold = int(overload.drop_fraction * 1000)
+        # A low-discrepancy sweep over [0, 1000) so the drop/flag split
+        # tracks drop_fraction deterministically even for short bursts.
+        if (self._overload_counter * 619) % 1000 < threshold:
+            self.stats.overload_dropped += 1
+            return Decision(
+                verdict=Verdict.BENIGN,
+                stage=Stage.OVERLOAD,
+                eia=eia,
+                latency_s=time.perf_counter() - started,
+            )
+        self.stats.overload_flagged += 1
+        return self._attack(
+            record, eia, Stage.OVERLOAD, "unanalysed-suspect", started
+        )
+
+    def _attack(
+        self,
+        record: FlowRecord,
+        eia: EIACheck,
+        stage: str,
+        classification: str,
+        started: float,
+        *,
+        scan: Optional[ScanVerdict] = None,
+        neighbour: Optional[SearchResult] = None,
+        protocol_class: Optional[str] = None,
+    ) -> Decision:
+        self._alert_counter += 1
+        alert = IdmefAlert.for_flow(
+            f"infilter-{self._alert_counter:08d}",
+            record,
+            classification=classification,
+            stage=stage,
+            expected_peer=eia.expected_peer,
+            detect_time_ms=record.last,
+            severity="high" if stage == Stage.SCAN else "medium",
+        )
+        self.alert_sink.consume(alert)
+        return Decision(
+            verdict=Verdict.ATTACK,
+            stage=stage,
+            eia=eia,
+            scan=scan,
+            neighbour=neighbour,
+            protocol_class=protocol_class,
+            alert=alert,
+            latency_s=time.perf_counter() - started,
+        )

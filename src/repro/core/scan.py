@@ -1,0 +1,117 @@
+"""Scan Analysis (Section 4.1).
+
+Keeps a bounded buffer of the most recent *suspect* flows (those the EIA
+check flagged) and two counting structures over it:
+
+* **network scan** — many distinct destination hosts hit on the *same
+  destination port* (the Slammer pattern: one vulnerability, random
+  targets);
+* **host scan** — many distinct destination ports hit on the *same
+  destination host* (the nmap Idlescan pattern).
+
+When either count crosses its threshold the flow that completed the
+pattern is flagged, short-circuiting the more expensive NNS stage.  The
+counters are maintained incrementally as flows enter and leave the ring
+buffer, so a check is O(1) amortised.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.config import ScanConfig
+from repro.netflow.records import FlowRecord
+
+__all__ = ["ScanVerdict", "ScanAnalyzer"]
+
+
+@dataclass(frozen=True)
+class ScanVerdict:
+    """The scan assessment of one suspect flow."""
+
+    is_scan: bool
+    kind: Optional[str] = None  # "network_scan" | "host_scan"
+    count: int = 0
+
+    NETWORK = "network_scan"
+    HOST = "host_scan"
+
+
+class _MultiCounter:
+    """Counts distinct members per group with reference counting.
+
+    ``add``/``remove`` take (group, member) pairs; ``distinct`` is the
+    number of distinct members currently present in a group.  Used twice:
+    group=dst_port, member=dst_host for network scans, and group=dst_host,
+    member=dst_port for host scans.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[int, Dict[int, int]] = {}
+
+    def add(self, group: int, member: int) -> int:
+        members = self._groups.setdefault(group, {})
+        members[member] = members.get(member, 0) + 1
+        return len(members)
+
+    def remove(self, group: int, member: int) -> None:
+        members = self._groups.get(group)
+        if members is None:
+            return
+        count = members.get(member, 0)
+        if count <= 1:
+            members.pop(member, None)
+            if not members:
+                self._groups.pop(group, None)
+        else:
+            members[member] = count - 1
+
+    def distinct(self, group: int) -> int:
+        members = self._groups.get(group)
+        return len(members) if members else 0
+
+
+class ScanAnalyzer:
+    """The Section 4.1 scan detector over a suspect-flow buffer."""
+
+    def __init__(self, config: ScanConfig = ScanConfig()) -> None:
+        self.config = config
+        self._buffer: Deque[Tuple[int, int]] = deque()  # (dst_addr, dst_port)
+        self._by_port = _MultiCounter()   # port -> hosts
+        self._by_host = _MultiCounter()   # host -> ports
+        self.network_scans_flagged = 0
+        self.host_scans_flagged = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def observe(self, record: FlowRecord) -> ScanVerdict:
+        """Add a suspect flow to the buffer and check both patterns."""
+        dst_addr = record.key.dst_addr
+        dst_port = record.key.dst_port
+        if len(self._buffer) >= self.config.buffer_size:
+            old_addr, old_port = self._buffer.popleft()
+            self._by_port.remove(old_port, old_addr)
+            self._by_host.remove(old_addr, old_port)
+        self._buffer.append((dst_addr, dst_port))
+        hosts_on_port = self._by_port.add(dst_port, dst_addr)
+        ports_on_host = self._by_host.add(dst_addr, dst_port)
+        if hosts_on_port >= self.config.network_scan_threshold:
+            self.network_scans_flagged += 1
+            return ScanVerdict(
+                is_scan=True, kind=ScanVerdict.NETWORK, count=hosts_on_port
+            )
+        if ports_on_host >= self.config.host_scan_threshold:
+            self.host_scans_flagged += 1
+            return ScanVerdict(
+                is_scan=True, kind=ScanVerdict.HOST, count=ports_on_host
+            )
+        return ScanVerdict(is_scan=False)
+
+    def reset(self) -> None:
+        """Clear the buffer and counters."""
+        self._buffer.clear()
+        self._by_port = _MultiCounter()
+        self._by_host = _MultiCounter()

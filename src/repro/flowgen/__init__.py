@@ -1,0 +1,52 @@
+"""Traffic generation: address plan, traces, attacks, Dagflow replay."""
+
+from repro.flowgen.addressing import (
+    PUBLIC_SLASH8_BLOCKS,
+    Allocation,
+    SubBlockSpace,
+    eia_allocation,
+    route_change_allocations,
+)
+from repro.flowgen.attacks import (
+    ATTACK_NAMES,
+    STEALTHY_ATTACKS,
+    attack_catalog,
+    generate_attack,
+)
+from repro.flowgen.dagfile import (
+    DagPacket,
+    flows_from_packets,
+    packets_from_flows,
+    read_dag,
+    write_dag,
+)
+from repro.flowgen.dagflow import Dagflow, LabeledRecord
+from repro.flowgen.traces import (
+    DEFAULT_PROFILE,
+    TraceFlow,
+    TraceProfile,
+    synthesize_trace,
+)
+
+__all__ = [
+    "PUBLIC_SLASH8_BLOCKS",
+    "Allocation",
+    "SubBlockSpace",
+    "eia_allocation",
+    "route_change_allocations",
+    "ATTACK_NAMES",
+    "STEALTHY_ATTACKS",
+    "attack_catalog",
+    "generate_attack",
+    "DagPacket",
+    "flows_from_packets",
+    "packets_from_flows",
+    "read_dag",
+    "write_dag",
+    "Dagflow",
+    "LabeledRecord",
+    "DEFAULT_PROFILE",
+    "TraceFlow",
+    "TraceProfile",
+    "synthesize_trace",
+]

@@ -1,0 +1,202 @@
+"""The experiment address plan (Section 6.2, Tables 1–3).
+
+The testbed draws source addresses from the 143 publicly-routable,
+allocated unicast /8 blocks (Table 1, IANA as of 2004-10-28).  Each /8 is
+split into eight /11 sub-blocks named ``<count><letter>``: ``1a`` is
+3.0.0.0/11, ``1b`` is 3.32.0.0/11, …, ``125h`` is 204.224.0.0/11.  The
+first 1000 sub-blocks (blocks ``3/8`` through ``204/8``) are used; the
+rest are ignored.
+
+Allocations (Table 2): with 10 Dagflow sources and 100 sub-blocks each,
+a k% route-change allocation gives each source the first ``100 - k``
+blocks of its own range plus ``k`` blocks taken from the *tails* of other
+sources' ranges, rotating with the allocation index — which is exactly the
+published Table 2 pattern for k=2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.errors import AddressError
+from repro.util.ip import Prefix
+
+__all__ = [
+    "PUBLIC_SLASH8_BLOCKS",
+    "SubBlockSpace",
+    "Allocation",
+    "eia_allocation",
+    "route_change_allocations",
+]
+
+# Table 1: the 143 publicly-routable allocated unicast /8s (first octets).
+PUBLIC_SLASH8_BLOCKS: Tuple[int, ...] = tuple(
+    [3, 4, 6, 8, 9]
+    + list(range(11, 23))          # 11-22
+    + [24, 25, 26, 28, 29, 30]
+    + [32, 33, 34, 35, 38, 40, 43]
+    + list(range(44, 49))          # 44-48
+    + list(range(51, 73))          # 51-72
+    + list(range(80, 89))          # 80-88
+    + list(range(128, 173))        # 128-172
+    + [188, 191, 192, 193, 194, 195, 196, 198, 199]
+    + list(range(200, 223))        # 200-222
+)
+
+_LETTERS = "abcdefgh"
+
+
+@dataclass(frozen=True)
+class _SubBlock:
+    name: str
+    prefix: Prefix
+
+
+class SubBlockSpace:
+    """The named /11 sub-block universe of Section 6.2.
+
+    ``usable`` bounds how many sub-blocks are in play (the paper uses the
+    first 1000 of 1144).
+    """
+
+    def __init__(self, usable: int = 1000) -> None:
+        total = len(PUBLIC_SLASH8_BLOCKS) * len(_LETTERS)
+        if not 0 < usable <= total:
+            raise AddressError(
+                f"usable must be in [1, {total}], got {usable}"
+            )
+        blocks: List[_SubBlock] = []
+        for block_index, first_octet in enumerate(PUBLIC_SLASH8_BLOCKS):
+            for letter_index, letter in enumerate(_LETTERS):
+                network = (first_octet << 24) | (letter_index << 21)
+                blocks.append(
+                    _SubBlock(
+                        name=f"{block_index + 1}{letter}",
+                        prefix=Prefix(network, 11),
+                    )
+                )
+        self._all = blocks
+        self.usable = usable
+
+    def __len__(self) -> int:
+        return self.usable
+
+    @property
+    def total_defined(self) -> int:
+        return len(self._all)
+
+    def prefix(self, index: int) -> Prefix:
+        """Sub-block by usable index (0-based)."""
+        self._check(index)
+        return self._all[index].prefix
+
+    def name(self, index: int) -> str:
+        """The paper's ``1a…125h`` notation for a usable index."""
+        self._check(index)
+        return self._all[index].name
+
+    def index_of(self, name: str) -> int:
+        """Inverse of :meth:`name`; accepts any defined sub-block name."""
+        body, letter = name[:-1], name[-1]
+        if not body.isdigit() or letter not in _LETTERS:
+            raise AddressError(f"malformed sub-block name {name!r}")
+        block_index = int(body) - 1
+        if not 0 <= block_index < len(PUBLIC_SLASH8_BLOCKS):
+            raise AddressError(f"sub-block name {name!r} out of range")
+        index = block_index * len(_LETTERS) + _LETTERS.index(letter)
+        self._check(index)
+        return index
+
+    def by_name(self, name: str) -> Prefix:
+        return self.prefix(self.index_of(name))
+
+    def slice(self, start: int, count: int) -> List[Prefix]:
+        """``count`` consecutive usable sub-blocks from ``start``."""
+        self._check(start)
+        self._check(start + count - 1)
+        return [self._all[i].prefix for i in range(start, start + count)]
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.usable:
+            raise AddressError(
+                f"sub-block index {index} outside the usable range"
+                f" [0, {self.usable})"
+            )
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One source's address blocks at one allocation epoch."""
+
+    source: int
+    blocks: Tuple[Prefix, ...]
+    #: indices (into the space) of the blocks, for reporting.
+    indices: Tuple[int, ...]
+
+
+def eia_allocation(
+    space: SubBlockSpace, n_sources: int = 10, blocks_per_source: int = 100
+) -> Dict[int, List[Prefix]]:
+    """Table 3: the static EIA assignment — source ``i`` owns the
+    ``blocks_per_source`` consecutive sub-blocks starting at
+    ``i * blocks_per_source``."""
+    needed = n_sources * blocks_per_source
+    if needed > space.usable:
+        raise AddressError(
+            f"{n_sources} sources x {blocks_per_source} blocks needs"
+            f" {needed} sub-blocks, only {space.usable} usable"
+        )
+    return {
+        source: space.slice(source * blocks_per_source, blocks_per_source)
+        for source in range(n_sources)
+    }
+
+
+def route_change_allocations(
+    space: SubBlockSpace,
+    *,
+    n_sources: int = 10,
+    blocks_per_source: int = 100,
+    change_blocks: int = 2,
+    n_allocations: int = 4,
+) -> List[Dict[int, Allocation]]:
+    """Table 2 generalised: allocation tables with emulated route changes.
+
+    In allocation ``a`` (1-based), source ``i`` keeps the first
+    ``blocks_per_source - change_blocks`` blocks of its own range and
+    receives, for ``j`` in ``0..change_blocks-1``, tail block ``j`` of
+    source ``(i - a - j) mod n_sources`` — reproducing the published
+    k=2, n=10 tables exactly and extending to the 1/4/8-block variants of
+    Section 6.3.3.
+    """
+    if change_blocks >= blocks_per_source:
+        raise AddressError("change_blocks must be smaller than blocks_per_source")
+    if change_blocks >= n_sources:
+        raise AddressError(
+            "change_blocks must be below n_sources or a source would"
+            " donate to itself"
+        )
+    base = eia_allocation(space, n_sources, blocks_per_source)
+    keep = blocks_per_source - change_blocks
+
+    def tail_index(source: int, j: int) -> int:
+        return source * blocks_per_source + keep + j
+
+    allocations: List[Dict[int, Allocation]] = []
+    for a in range(1, n_allocations + 1):
+        table: Dict[int, Allocation] = {}
+        for source in range(n_sources):
+            indices = list(
+                range(source * blocks_per_source, source * blocks_per_source + keep)
+            )
+            for j in range(change_blocks):
+                donor = (source - a - j) % n_sources
+                indices.append(tail_index(donor, j))
+            table[source] = Allocation(
+                source=source,
+                blocks=tuple(space.prefix(i) for i in indices),
+                indices=tuple(indices),
+            )
+        allocations.append(table)
+    return allocations

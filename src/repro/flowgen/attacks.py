@@ -1,0 +1,361 @@
+"""Attack trace generators (Section 6.2).
+
+Twelve attack types matching the paper's mix: stealthy one-or-few-packet
+attacks (Puke, Jolt, Teardrop, Slammer), a volumetric DDoS (TFN2K), blind
+scans (nmap network sweep and Idlescan-style host scan), and service
+exploits against http/ftp/smtp/dns.  Each generator emits the
+*flow-level* footprint the corresponding tool leaves in NetFlow — the only
+thing the detector ever sees — as :class:`TraceFlow` lists labelled with
+the attack name.
+
+None of these are usable attack implementations; they synthesise traffic
+*records* for evaluating the defence, the role the paper's converted
+TCPDUMP captures played.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.flowgen.traces import TraceFlow
+from repro.netflow.records import (
+    PORT_DNS,
+    PORT_FTP,
+    PORT_HTTP,
+    PORT_SMTP,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+)
+from repro.util.errors import ConfigError
+from repro.util.rng import SeededRng
+
+__all__ = ["ATTACK_NAMES", "STEALTHY_ATTACKS", "generate_attack", "attack_catalog"]
+
+AttackGenerator = Callable[[SeededRng, int], List[TraceFlow]]
+
+
+def _flow(
+    start_ms: int,
+    protocol: int,
+    dst_port: int,
+    packets: int,
+    octets: int,
+    duration_ms: int,
+    dst_host: int,
+    label: str,
+    *,
+    src_port: int = 0,
+    tcp_flags: int = 0,
+) -> TraceFlow:
+    return TraceFlow(
+        start_ms=start_ms,
+        protocol=protocol,
+        src_port=src_port,
+        dst_port=dst_port,
+        packets=packets,
+        octets=octets,
+        duration_ms=duration_ms,
+        dst_host=dst_host,
+        tcp_flags=tcp_flags,
+        label=label,
+    )
+
+
+def puke(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """Puke: forged ICMP unreachable bursts knocking an IRC user offline.
+
+    A handful of single ICMP packets at one host — far below any
+    volumetric radar.
+    """
+    host = rng.randint(0, 1023)
+    return [
+        _flow(
+            start_ms + i * 40,
+            PROTO_ICMP,
+            0,
+            1,
+            rng.randint(56, 84),
+            0,
+            host,
+            "puke",
+        )
+        for i in range(rng.randint(2, 4))
+    ]
+
+
+def jolt(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """Jolt: oversized fragmented ICMP; one flow, absurd bytes/packet."""
+    host = rng.randint(0, 1023)
+    packets = rng.randint(2, 5)
+    return [
+        _flow(
+            start_ms,
+            PROTO_ICMP,
+            0,
+            packets,
+            packets * rng.randint(7_000, 9_500),
+            rng.randint(1, 20),
+            host,
+            "jolt",
+        )
+    ]
+
+
+def teardrop(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """Teardrop: two overlapping UDP fragments; a single tiny flow."""
+    host = rng.randint(0, 1023)
+    return [
+        _flow(
+            start_ms,
+            PROTO_UDP,
+            rng.randint(1024, 65535),
+            2,
+            rng.randint(60, 120),
+            0,
+            host,
+            "teardrop",
+        )
+    ]
+
+
+def slammer(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """Slammer: one 404-byte UDP/1434 packet to many random hosts.
+
+    The canonical network-scan pattern: fixed destination port, spoofed
+    sources, dozens of distinct destination hosts, one packet each.
+    """
+    count = rng.randint(24, 48)
+    return [
+        _flow(
+            start_ms + i * 3,
+            PROTO_UDP,
+            1434,
+            1,
+            404,
+            0,
+            rng.randint(0, 4095),
+            "slammer",
+            src_port=rng.randint(1024, 65535),
+        )
+        for i in range(count)
+    ]
+
+
+def tfn2k(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """TFN2K: volumetric DDoS — a storm of spoofed UDP/ICMP flood flows
+    converging on one victim."""
+    victim = rng.randint(0, 1023)
+    flows: List[TraceFlow] = []
+    for i in range(rng.randint(60, 120)):
+        use_udp = rng.bernoulli(0.6)
+        packets = rng.randint(80, 400)
+        flows.append(
+            _flow(
+                start_ms + i * 2,
+                PROTO_UDP if use_udp else PROTO_ICMP,
+                rng.randint(1, 65535) if use_udp else 0,
+                packets,
+                packets * rng.randint(28, 64),
+                rng.randint(200, 1500),
+                victim,
+                "tfn2k",
+                src_port=rng.randint(1024, 65535) if use_udp else 0,
+            )
+        )
+    return flows
+
+
+def synflood(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """SYN flood at a web server: many half-open single-SYN flows."""
+    victim = rng.randint(0, 1023)
+    return [
+        _flow(
+            start_ms + i * 5,
+            PROTO_TCP,
+            PORT_HTTP,
+            (syn_packets := rng.randint(1, 3)),
+            syn_packets * rng.randint(40, 60),
+            0,
+            victim,
+            "synflood",
+            src_port=rng.randint(1024, 65535),
+            tcp_flags=TCP_SYN,
+        )
+        for i in range(rng.randint(40, 80))
+    ]
+
+
+def network_scan(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """nmap sweep: SYN probes on one service port across many hosts."""
+    port = rng.choice((PORT_HTTP, 22, 445, 139, 3389))
+    return [
+        _flow(
+            start_ms + i * 8,
+            PROTO_TCP,
+            port,
+            1,
+            44,
+            0,
+            rng.randint(0, 4095),
+            "network_scan",
+            src_port=rng.randint(1024, 65535),
+            tcp_flags=TCP_SYN,
+        )
+        for i in range(rng.randint(20, 40))
+    ]
+
+
+def host_scan(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """nmap Idlescan: blind spoofed probes over many ports of one host."""
+    victim = rng.randint(0, 1023)
+    ports = rng.sample(range(1, 1024), rng.randint(16, 32))
+    return [
+        _flow(
+            start_ms + i * 12,
+            PROTO_TCP,
+            port,
+            1,
+            44,
+            0,
+            victim,
+            "host_scan",
+            src_port=rng.randint(1024, 65535),
+            tcp_flags=TCP_SYN,
+        )
+        for i, port in enumerate(ports)
+    ]
+
+
+def http_exploit(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """Oversized single-request web exploit (Code-Red-style long URI)."""
+    return [
+        _flow(
+            start_ms,
+            PROTO_TCP,
+            PORT_HTTP,
+            rng.randint(3, 6),
+            rng.randint(60_000, 120_000),
+            rng.randint(5, 60),
+            rng.randint(0, 1023),
+            "http_exploit",
+            src_port=rng.randint(1024, 65535),
+            tcp_flags=TCP_SYN | TCP_ACK | TCP_PSH,
+        )
+    ]
+
+
+def ftp_exploit(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """FTP command-channel buffer overflow: one short, dense flow."""
+    return [
+        _flow(
+            start_ms,
+            PROTO_TCP,
+            PORT_FTP,
+            rng.randint(2, 4),
+            rng.randint(30_000, 60_000),
+            rng.randint(1, 10),
+            rng.randint(0, 1023),
+            "ftp_exploit",
+            src_port=rng.randint(1024, 65535),
+            tcp_flags=TCP_SYN | TCP_ACK | TCP_PSH,
+        )
+    ]
+
+
+def smtp_exploit(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """SMTP exploit: a command-stuffing flow far outside normal mail."""
+    packets = rng.randint(400, 900)
+    return [
+        _flow(
+            start_ms,
+            PROTO_TCP,
+            PORT_SMTP,
+            packets,
+            packets * rng.randint(900, 1400),
+            rng.randint(50, 400),
+            rng.randint(0, 1023),
+            "smtp_exploit",
+            src_port=rng.randint(1024, 65535),
+            tcp_flags=TCP_SYN | TCP_ACK | TCP_PSH,
+        )
+    ]
+
+
+def dns_exploit(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """Single-packet DNS exploit: one oversized UDP/53 datagram."""
+    return [
+        _flow(
+            start_ms,
+            PROTO_UDP,
+            PORT_DNS,
+            1,
+            rng.randint(2_000, 4_000),
+            0,
+            rng.randint(0, 1023),
+            "dns_exploit",
+            src_port=rng.randint(1024, 65535),
+        )
+    ]
+
+
+def rst_storm(rng: SeededRng, start_ms: int) -> List[TraceFlow]:
+    """Forged RST storm tearing down connections of one host."""
+    victim = rng.randint(0, 1023)
+    return [
+        _flow(
+            start_ms + i * 6,
+            PROTO_TCP,
+            rng.randint(1024, 65535),
+            1,
+            40,
+            0,
+            victim,
+            "rst_storm",
+            src_port=PORT_HTTP,
+            tcp_flags=TCP_RST,
+        )
+        for i in range(rng.randint(20, 40))
+    ]
+
+
+_CATALOG: Dict[str, AttackGenerator] = {
+    "puke": puke,
+    "jolt": jolt,
+    "teardrop": teardrop,
+    "slammer": slammer,
+    "tfn2k": tfn2k,
+    "synflood": synflood,
+    "network_scan": network_scan,
+    "host_scan": host_scan,
+    "http_exploit": http_exploit,
+    "ftp_exploit": ftp_exploit,
+    "smtp_exploit": smtp_exploit,
+    "dns_exploit": dns_exploit,
+}
+
+ATTACK_NAMES = tuple(_CATALOG)
+
+#: Attacks of one or very few packets — the set Snort-era signature IDS
+#: missed (Section 1): no volume anomaly, no known signature.
+STEALTHY_ATTACKS = ("puke", "jolt", "teardrop", "slammer", "dns_exploit")
+
+
+def attack_catalog() -> Dict[str, AttackGenerator]:
+    """Name → generator for all twelve attacks."""
+    return dict(_CATALOG)
+
+
+def generate_attack(name: str, *, rng: SeededRng, start_ms: int = 0) -> List[TraceFlow]:
+    """Generate one instance of the named attack."""
+    try:
+        generator = _CATALOG[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown attack {name!r}; expected one of {ATTACK_NAMES}"
+        ) from None
+    return generator(rng, start_ms)

@@ -1,0 +1,171 @@
+"""Dagflow: trace-driven NetFlow record synthesis (Section 6.1).
+
+Dagflow replays a captured traffic trace as NetFlow v5 records, emulating
+what a border router would have exported for that traffic — without any
+router or actual packets.  Each instance:
+
+* binds a *target network* prefix (destination addresses) and a UDP
+  export port (its identity toward the collector);
+* draws source addresses from a configurable set of address blocks with
+  optional per-block weights — both the "normal set" of an allocation and
+  *controlled spoofing* (an attack Dagflow simply draws from other peers'
+  blocks);
+* can switch block sets mid-run (:meth:`set_blocks`), which is how the
+  experiment scripts emulate route instability.
+
+Output is either labelled flow records (:meth:`replay`, carrying ground
+truth for scoring) or encoded v5 datagrams (:meth:`export`, for driving
+the full wire path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.flowgen.traces import TraceFlow
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.netflow.v5 import datagrams_for
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix
+from repro.util.rng import SeededRng
+
+__all__ = ["LabeledRecord", "Dagflow"]
+
+
+@dataclass(frozen=True)
+class LabeledRecord:
+    """A synthesised flow record plus its ground-truth label."""
+
+    record: FlowRecord
+    label: str
+
+    @property
+    def is_attack(self) -> bool:
+        return self.label != "normal"
+
+
+class Dagflow:
+    """One Dagflow instance (one emulated border router)."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        target_prefix: Prefix,
+        udp_port: int,
+        source_blocks: Sequence[Prefix],
+        rng: SeededRng,
+        block_weights: Optional[Sequence[float]] = None,
+        source_pool_size: Optional[int] = None,
+    ) -> None:
+        if not 0 < udp_port < 65536:
+            raise ConfigError(f"udp_port {udp_port} out of range")
+        if source_pool_size is not None and source_pool_size < 1:
+            raise ConfigError("source_pool_size must be positive or None")
+        self.name = name
+        self.target_prefix = target_prefix
+        self.udp_port = udp_port
+        self._rng = rng.fork(f"dagflow-{name}")
+        self._blocks: List[Prefix] = []
+        self._weights: Optional[List[float]] = None
+        self._pool_size = source_pool_size
+        self._pool: Optional[List[int]] = None
+        self.set_blocks(source_blocks, block_weights)
+        self._sequence = 0
+
+    def set_blocks(
+        self,
+        blocks: Sequence[Prefix],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Replace the source address blocks (allocation switch).
+
+        ``weights`` control the source-address distribution, e.g. the
+        paper's "25% from 192.4/16, 25% from 214.96/16, 50% from
+        145.25/16" configuration; omitted means uniform over blocks.
+        """
+        if not blocks:
+            raise ConfigError("a Dagflow needs at least one source block")
+        if weights is not None:
+            if len(weights) != len(blocks):
+                raise ConfigError("weights must align with blocks")
+            if min(weights) < 0 or sum(weights) <= 0:
+                raise ConfigError("weights must be non-negative, sum positive")
+            self._weights = list(weights)
+        else:
+            self._weights = None
+        self._blocks = list(blocks)
+        if self._pool_size is not None:
+            # Replaying a captured trace reuses its (rewritten) source
+            # addresses: draw the pool once per block set, then every flow
+            # picks from it.  This is how repeated attack-trace replays
+            # re-spoof the same addresses (Section 6.1).
+            self._pool = [self._draw_source() for _ in range(self._pool_size)]
+
+    @property
+    def blocks(self) -> Tuple[Prefix, ...]:
+        return tuple(self._blocks)
+
+    def _draw_source(self) -> int:
+        if self._weights is None:
+            block = self._rng.choice(self._blocks)
+        else:
+            block = self._blocks[self._rng.weighted_index(self._weights)]
+        return block.nth_address(self._rng.randint(0, block.size() - 1))
+
+    def _pick_source(self) -> int:
+        if self._pool is not None:
+            return self._rng.choice(self._pool)
+        return self._draw_source()
+
+    def record_for(self, flow: TraceFlow) -> FlowRecord:
+        """Synthesise the NetFlow v5 record one trace flow produces."""
+        dst = self.target_prefix.nth_address(
+            flow.dst_host % self.target_prefix.size()
+        )
+        key = FlowKey(
+            src_addr=self._pick_source(),
+            dst_addr=dst,
+            protocol=flow.protocol,
+            src_port=flow.src_port,
+            dst_port=flow.dst_port,
+        )
+        return FlowRecord(
+            key=key,
+            packets=flow.packets,
+            octets=flow.octets,
+            first=flow.start_ms,
+            last=flow.start_ms + flow.duration_ms,
+            tcp_flags=flow.tcp_flags,
+        )
+
+    def replay(self, trace: Iterable[TraceFlow]) -> Iterator[LabeledRecord]:
+        """Replay a trace into labelled records (scoring path)."""
+        for flow in trace:
+            yield LabeledRecord(record=self.record_for(flow), label=flow.label)
+
+    def export(
+        self,
+        trace: Iterable[TraceFlow],
+        *,
+        sys_uptime: int = 0,
+        unix_secs: int = 0,
+    ) -> Iterator[bytes]:
+        """Replay a trace into encoded v5 datagrams (wire path).
+
+        Maintains this instance's cumulative flow sequence across calls,
+        as the real tool did per emulated router.
+        """
+        records = (self.record_for(flow) for flow in trace)
+        for datagram in datagrams_for(
+            records,
+            sys_uptime=sys_uptime,
+            unix_secs=unix_secs,
+            initial_sequence=self._sequence,
+        ):
+            # Header count byte 2-3 big endian; cheaper to track here than
+            # to decode: datagrams are maximally filled except the last.
+            count = int.from_bytes(datagram[2:4], "big")
+            self._sequence += count
+            yield datagram

@@ -1,0 +1,184 @@
+"""Synthetic "normal" traffic traces.
+
+Stands in for the CAIDA/NLANR captures the paper replays: a protocol mix
+of the era's dominant applications with heavy-tailed flow sizes.  The NNS
+stage only ever sees flow-level statistics, so matching the *per-protocol
+distribution shape* of real traces (many small request flows, a
+heavy tail of bulk transfers) is what preserves the paper's behaviour.
+
+A trace is a sequence of :class:`TraceFlow` — flow-level events without
+concrete source addresses (Dagflow assigns those) and with destination
+hosts as abstract offsets into the target network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netflow.records import (
+    PORT_DNS,
+    PORT_FTP,
+    PORT_HTTP,
+    PORT_SMTP,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_SYN,
+)
+from repro.util.errors import ConfigError
+from repro.util.rng import SeededRng
+
+__all__ = ["TraceFlow", "TraceProfile", "synthesize_trace", "DEFAULT_PROFILE"]
+
+
+@dataclass(frozen=True)
+class TraceFlow:
+    """One flow-level event of a traffic trace.
+
+    ``dst_host`` is an offset into the (not-yet-bound) target network;
+    ``label`` is ``"normal"`` for background traffic or the attack name
+    for attack traces — used by experiments as detection ground truth,
+    never by the detector itself.
+    """
+
+    start_ms: int
+    protocol: int
+    src_port: int
+    dst_port: int
+    packets: int
+    octets: int
+    duration_ms: int
+    dst_host: int
+    tcp_flags: int = 0
+    label: str = "normal"
+
+    def __post_init__(self) -> None:
+        if self.packets < 1 or self.octets < self.packets * 20:
+            raise ConfigError(
+                "a flow needs >=1 packet and >=20 octets per packet"
+            )
+        if self.duration_ms < 0:
+            raise ConfigError("duration cannot be negative")
+
+    @property
+    def is_attack(self) -> bool:
+        return self.label != "normal"
+
+
+@dataclass(frozen=True)
+class _AppModel:
+    """Flow-statistic distribution of one application class."""
+
+    protocol: int
+    dst_port: Optional[int]           # None = random high port
+    weight: float
+    packets_pareto: Tuple[float, float]   # (alpha, scale)
+    packets_cap: int
+    bytes_per_packet: Tuple[int, int]     # uniform range
+    duration_ms: Tuple[int, int]          # uniform range, scaled by size
+    tcp: bool = False
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """The application mix of a trace (fractions of flows per class)."""
+
+    mean_interarrival_ms: float = 12.0
+    n_hosts: int = 2048
+    apps: Dict[str, _AppModel] = field(
+        default_factory=lambda: dict(_DEFAULT_APPS)
+    )
+
+
+_DEFAULT_APPS: Tuple[Tuple[str, _AppModel], ...] = (
+    (
+        "http",
+        _AppModel(PROTO_TCP, PORT_HTTP, 0.46, (1.3, 6.0), 400, (300, 900), (40, 2500), tcp=True),
+    ),
+    (
+        "dns",
+        _AppModel(PROTO_UDP, PORT_DNS, 0.16, (2.5, 1.0), 4, (60, 140), (1, 120)),
+    ),
+    (
+        "smtp",
+        _AppModel(PROTO_TCP, PORT_SMTP, 0.08, (1.5, 8.0), 200, (200, 700), (120, 4000), tcp=True),
+    ),
+    (
+        "ftp",
+        _AppModel(PROTO_TCP, PORT_FTP, 0.05, (1.2, 10.0), 800, (400, 1200), (300, 9000), tcp=True),
+    ),
+    (
+        "tcp-other",
+        _AppModel(PROTO_TCP, None, 0.14, (1.4, 5.0), 300, (150, 1000), (50, 5000), tcp=True),
+    ),
+    (
+        "udp-other",
+        _AppModel(PROTO_UDP, None, 0.08, (1.8, 2.0), 60, (100, 600), (10, 2000)),
+    ),
+    (
+        "icmp",
+        _AppModel(PROTO_ICMP, 0, 0.03, (2.2, 1.0), 10, (64, 120), (1, 500)),
+    ),
+)
+
+DEFAULT_PROFILE = TraceProfile()
+
+
+def synthesize_trace(
+    n_flows: int,
+    *,
+    rng: SeededRng,
+    profile: TraceProfile = DEFAULT_PROFILE,
+    start_ms: int = 0,
+) -> List[TraceFlow]:
+    """Generate ``n_flows`` normal flows with the given application mix.
+
+    Flow start times follow a Poisson arrival process; per-class sizes are
+    Pareto (heavy tails) capped to keep the unary encoding ranges honest.
+    """
+    if n_flows < 0:
+        raise ConfigError("n_flows cannot be negative")
+    names = list(profile.apps)
+    weights = [profile.apps[name].weight for name in names]
+    flows: List[TraceFlow] = []
+    clock = float(start_ms)
+    arrival = rng.fork("arrivals")
+    pick = rng.fork("apps")
+    size = rng.fork("sizes")
+    for _ in range(n_flows):
+        clock += arrival.expovariate(1.0 / profile.mean_interarrival_ms)
+        app = profile.apps[names[pick.weighted_index(weights)]]
+        alpha, scale = app.packets_pareto
+        packets = max(1, min(app.packets_cap, int(size.pareto(alpha, scale))))
+        per_packet = size.randint(*app.bytes_per_packet)
+        octets = max(packets * 28, packets * per_packet)
+        lo, hi = app.duration_ms
+        duration = int(size.uniform(lo, hi) * (0.25 + min(packets, 64) / 16.0))
+        if packets == 1:
+            duration = 0
+        dst_port = (
+            app.dst_port
+            if app.dst_port is not None
+            else size.randint(1024, 65535)
+        )
+        tcp_flags = 0
+        if app.tcp:
+            tcp_flags = TCP_SYN | TCP_ACK | TCP_PSH | TCP_FIN
+        flows.append(
+            TraceFlow(
+                start_ms=int(clock),
+                protocol=app.protocol,
+                src_port=size.randint(1024, 65535),
+                dst_port=dst_port,
+                packets=packets,
+                octets=octets,
+                duration_ms=duration,
+                dst_host=size.randint(0, profile.n_hosts - 1),
+                tcp_flags=tcp_flags,
+            )
+        )
+    return flows

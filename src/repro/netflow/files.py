@@ -1,0 +1,278 @@
+"""Flow-file persistence (the storage role of Flow-tools).
+
+``flow-capture`` stores received flows in binary files "to speed
+processing and save storage space"; other tools export to and import from
+ASCII.  This module provides both:
+
+* :func:`write_flow_file` / :func:`read_flow_file` — a compact binary
+  container: magic, version, record count, then fixed 48-byte v5-style
+  records (the same layout as the wire format, so the codec is shared);
+* :func:`export_ascii` / :func:`import_ascii` — a one-line-per-flow text
+  format (the flow-export/flow-import role), round-trippable and
+  diff-friendly.
+
+Both formats preserve every field a :class:`FlowRecord` carries on the
+wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, List, TextIO, Union
+
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.netflow.v5 import RECORD_LEN, _RECORD  # shared record codec
+from repro.util.errors import NetFlowDecodeError, NetFlowError
+from repro.util.ip import format_ipv4, parse_ipv4
+
+__all__ = [
+    "FLOW_FILE_MAGIC",
+    "write_flow_file",
+    "read_flow_file",
+    "export_ascii",
+    "import_ascii",
+]
+
+FLOW_FILE_MAGIC = b"RFL1"
+_HEADER = struct.Struct("!4sI")
+
+_ASCII_FIELDS = (
+    "src_addr",
+    "dst_addr",
+    "protocol",
+    "src_port",
+    "dst_port",
+    "tos",
+    "input_if",
+    "output_if",
+    "packets",
+    "octets",
+    "first",
+    "last",
+    "tcp_flags",
+    "src_as",
+    "dst_as",
+    "src_mask",
+    "dst_mask",
+    "next_hop",
+)
+
+
+def _pack_record(record: FlowRecord) -> bytes:
+    key = record.key
+    return _RECORD.pack(
+        key.src_addr,
+        key.dst_addr,
+        record.next_hop,
+        key.input_if,
+        record.output_if,
+        record.packets,
+        record.octets,
+        record.first,
+        record.last,
+        key.src_port,
+        key.dst_port,
+        0,
+        record.tcp_flags,
+        key.protocol,
+        key.tos,
+        record.src_as,
+        record.dst_as,
+        record.src_mask,
+        record.dst_mask,
+        0,
+    )
+
+
+def _unpack_record(buffer: bytes, offset: int) -> FlowRecord:
+    (
+        src_addr,
+        dst_addr,
+        next_hop,
+        input_if,
+        output_if,
+        packets,
+        octets,
+        first,
+        last,
+        src_port,
+        dst_port,
+        _pad1,
+        tcp_flags,
+        protocol,
+        tos,
+        src_as,
+        dst_as,
+        src_mask,
+        dst_mask,
+        _pad2,
+    ) = _RECORD.unpack_from(buffer, offset)
+    try:
+        return _build_record(
+            src_addr, dst_addr, next_hop, input_if, output_if, packets,
+            octets, first, last, src_port, dst_port, tcp_flags, protocol,
+            tos, src_as, dst_as, src_mask, dst_mask,
+        )
+    except ValueError as error:
+        raise NetFlowDecodeError(
+            f"invalid flow record at offset {offset}: {error}"
+        ) from error
+
+
+def _build_record(
+    src_addr, dst_addr, next_hop, input_if, output_if, packets, octets,
+    first, last, src_port, dst_port, tcp_flags, protocol, tos, src_as,
+    dst_as, src_mask, dst_mask,
+) -> FlowRecord:
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=src_addr,
+            dst_addr=dst_addr,
+            protocol=protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+            tos=tos,
+            input_if=input_if,
+        ),
+        packets=packets,
+        octets=octets,
+        first=first,
+        last=last,
+        next_hop=next_hop,
+        tcp_flags=tcp_flags,
+        src_as=src_as,
+        dst_as=dst_as,
+        src_mask=src_mask,
+        dst_mask=dst_mask,
+        output_if=output_if,
+    )
+
+
+def write_flow_file(
+    destination: Union[str, Path, BinaryIO], records: Iterable[FlowRecord]
+) -> int:
+    """Write records to a binary flow file; returns the record count."""
+    materialised = list(records)
+    payload = b"".join(_pack_record(record) for record in materialised)
+    header = _HEADER.pack(FLOW_FILE_MAGIC, len(materialised))
+    if isinstance(destination, (str, Path)):
+        with open(destination, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+    else:
+        destination.write(header)
+        destination.write(payload)
+    return len(materialised)
+
+
+def read_flow_file(source: Union[str, Path, BinaryIO]) -> List[FlowRecord]:
+    """Read a binary flow file back into records."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            data = handle.read()
+    else:
+        data = source.read()
+    if len(data) < _HEADER.size:
+        raise NetFlowDecodeError("flow file too short for its header")
+    magic, count = _HEADER.unpack_from(data, 0)
+    if magic != FLOW_FILE_MAGIC:
+        raise NetFlowDecodeError(f"bad flow-file magic {magic!r}")
+    expected = _HEADER.size + count * RECORD_LEN
+    if len(data) < expected:
+        raise NetFlowDecodeError(
+            f"flow file truncated: header claims {count} records"
+        )
+    return [
+        _unpack_record(data, _HEADER.size + index * RECORD_LEN)
+        for index in range(count)
+    ]
+
+
+def export_ascii(
+    destination: Union[str, Path, TextIO], records: Iterable[FlowRecord]
+) -> int:
+    """Write records as one comma-separated line each, with a header."""
+
+    def render(record: FlowRecord) -> str:
+        key = record.key
+        values = (
+            format_ipv4(key.src_addr),
+            format_ipv4(key.dst_addr),
+            key.protocol,
+            key.src_port,
+            key.dst_port,
+            key.tos,
+            key.input_if,
+            record.output_if,
+            record.packets,
+            record.octets,
+            record.first,
+            record.last,
+            record.tcp_flags,
+            record.src_as,
+            record.dst_as,
+            record.src_mask,
+            record.dst_mask,
+            format_ipv4(record.next_hop),
+        )
+        return ",".join(str(value) for value in values)
+
+    lines = ["#" + ",".join(_ASCII_FIELDS)]
+    count = 0
+    for record in records:
+        lines.append(render(record))
+        count += 1
+    text = "\n".join(lines) + "\n"
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text)
+    else:
+        destination.write(text)
+    return count
+
+
+def import_ascii(source: Union[str, Path, TextIO]) -> List[FlowRecord]:
+    """Read the ASCII export format back into records."""
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text()
+    else:
+        text = source.read()
+    records: List[FlowRecord] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) != len(_ASCII_FIELDS):
+            raise NetFlowError(
+                f"line {line_number}: expected {len(_ASCII_FIELDS)} fields,"
+                f" got {len(parts)}"
+            )
+        try:
+            records.append(
+                FlowRecord(
+                    key=FlowKey(
+                        src_addr=parse_ipv4(parts[0]),
+                        dst_addr=parse_ipv4(parts[1]),
+                        protocol=int(parts[2]),
+                        src_port=int(parts[3]),
+                        dst_port=int(parts[4]),
+                        tos=int(parts[5]),
+                        input_if=int(parts[6]),
+                    ),
+                    output_if=int(parts[7]),
+                    packets=int(parts[8]),
+                    octets=int(parts[9]),
+                    first=int(parts[10]),
+                    last=int(parts[11]),
+                    tcp_flags=int(parts[12]),
+                    src_as=int(parts[13]),
+                    dst_as=int(parts[14]),
+                    src_mask=int(parts[15]),
+                    dst_mask=int(parts[16]),
+                    next_hop=parse_ipv4(parts[17]),
+                )
+            )
+        except (ValueError, IndexError) as error:
+            raise NetFlowError(f"line {line_number}: {error}") from error
+    return records

@@ -1,0 +1,155 @@
+"""Flow filtering (the flow-nfilter role of Flow-tools).
+
+Composable predicates over flow records: match on source/destination
+prefixes, ports, protocols, size bounds, and TCP flags; combine with
+``&``, ``|`` and ``~``.  Operators use these to slice captures ("only
+udp/1434 toward the victim /24") before reporting or replay; the CLI
+exposes them via ``infilter filter``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.netflow.records import FlowRecord
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix
+
+__all__ = ["FlowFilter", "parse_filter_expression"]
+
+Predicate = Callable[[FlowRecord], bool]
+
+
+class FlowFilter:
+    """A composable flow predicate."""
+
+    def __init__(self, predicate: Predicate, description: str) -> None:
+        self._predicate = predicate
+        self.description = description
+
+    def __call__(self, record: FlowRecord) -> bool:
+        return self._predicate(record)
+
+    def apply(self, records: Iterable[FlowRecord]) -> Iterator[FlowRecord]:
+        """The records matching this filter."""
+        return (record for record in records if self(record))
+
+    def __and__(self, other: "FlowFilter") -> "FlowFilter":
+        return FlowFilter(
+            lambda r: self(r) and other(r),
+            f"({self.description} and {other.description})",
+        )
+
+    def __or__(self, other: "FlowFilter") -> "FlowFilter":
+        return FlowFilter(
+            lambda r: self(r) or other(r),
+            f"({self.description} or {other.description})",
+        )
+
+    def __invert__(self) -> "FlowFilter":
+        return FlowFilter(lambda r: not self(r), f"(not {self.description})")
+
+    def __repr__(self) -> str:
+        return f"FlowFilter({self.description})"
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def true() -> "FlowFilter":
+        return FlowFilter(lambda r: True, "any")
+
+    @staticmethod
+    def src_in(prefix: Prefix) -> "FlowFilter":
+        return FlowFilter(
+            lambda r: prefix.contains(r.key.src_addr), f"src in {prefix}"
+        )
+
+    @staticmethod
+    def dst_in(prefix: Prefix) -> "FlowFilter":
+        return FlowFilter(
+            lambda r: prefix.contains(r.key.dst_addr), f"dst in {prefix}"
+        )
+
+    @staticmethod
+    def protocol(number: int) -> "FlowFilter":
+        return FlowFilter(lambda r: r.key.protocol == number, f"proto {number}")
+
+    @staticmethod
+    def dst_port(port: int) -> "FlowFilter":
+        return FlowFilter(lambda r: r.key.dst_port == port, f"dport {port}")
+
+    @staticmethod
+    def src_port(port: int) -> "FlowFilter":
+        return FlowFilter(lambda r: r.key.src_port == port, f"sport {port}")
+
+    @staticmethod
+    def input_if(index: int) -> "FlowFilter":
+        return FlowFilter(lambda r: r.key.input_if == index, f"input {index}")
+
+    @staticmethod
+    def min_packets(count: int) -> "FlowFilter":
+        return FlowFilter(lambda r: r.packets >= count, f"packets>={count}")
+
+    @staticmethod
+    def max_packets(count: int) -> "FlowFilter":
+        return FlowFilter(lambda r: r.packets <= count, f"packets<={count}")
+
+    @staticmethod
+    def min_octets(count: int) -> "FlowFilter":
+        return FlowFilter(lambda r: r.octets >= count, f"octets>={count}")
+
+    @staticmethod
+    def tcp_flags_set(mask: int) -> "FlowFilter":
+        return FlowFilter(
+            lambda r: (r.tcp_flags & mask) == mask, f"flags&{mask:#x}"
+        )
+
+
+_TERM_BUILDERS = {
+    "src": lambda value: FlowFilter.src_in(Prefix.parse(value)),
+    "dst": lambda value: FlowFilter.dst_in(Prefix.parse(value)),
+    "proto": lambda value: FlowFilter.protocol(int(value)),
+    "dport": lambda value: FlowFilter.dst_port(int(value)),
+    "sport": lambda value: FlowFilter.src_port(int(value)),
+    "input": lambda value: FlowFilter.input_if(int(value)),
+    "minpkts": lambda value: FlowFilter.min_packets(int(value)),
+    "maxpkts": lambda value: FlowFilter.max_packets(int(value)),
+    "minoctets": lambda value: FlowFilter.min_octets(int(value)),
+    "flags": lambda value: FlowFilter.tcp_flags_set(int(value, 0)),
+}
+
+
+def parse_filter_expression(text: str) -> FlowFilter:
+    """Parse a small filter language: space-separated ``key=value`` terms.
+
+    Terms AND together; a term prefixed with ``!`` negates.  Example::
+
+        "proto=17 dport=1434 dst=198.18.0.0/16 !minpkts=2"
+
+    (UDP to 1434 toward the target /16, single-packet flows only.)
+    """
+    combined = FlowFilter.true()
+    terms = text.split()
+    if not terms:
+        raise ConfigError("empty filter expression")
+    for term in terms:
+        negate = term.startswith("!")
+        body = term[1:] if negate else term
+        key, _, value = body.partition("=")
+        if not value:
+            raise ConfigError(f"malformed filter term {term!r} (want key=value)")
+        try:
+            builder = _TERM_BUILDERS[key]
+        except KeyError:
+            raise ConfigError(
+                f"unknown filter key {key!r}; expected one of"
+                f" {sorted(_TERM_BUILDERS)}"
+            ) from None
+        try:
+            term_filter = builder(value)
+        except (ValueError, ConfigError) as error:
+            raise ConfigError(f"bad value in filter term {term!r}: {error}") from error
+        if negate:
+            term_filter = ~term_filter
+        combined = combined & term_filter
+    return combined

@@ -1,0 +1,167 @@
+"""Flow keys, flow records, and per-flow statistics.
+
+A *flow* is a unidirectional sequence of packets sharing the NetFlow key
+fields (Figure 10 of the paper): source/destination IP, IP protocol,
+source/destination port, TOS byte, and input interface.  A
+:class:`FlowRecord` carries the key plus the NetFlow v5 measurement fields;
+:class:`FlowStats` is the derived statistic vector the Enhanced InFilter
+analysis consumes (Section 5.1.2: byte count, packet count, duration,
+bit rate, packet rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import ClassVar, Tuple
+
+__all__ = [
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PORT_FTP",
+    "PORT_SMTP",
+    "PORT_DNS",
+    "PORT_HTTP",
+    "TCP_FIN",
+    "TCP_SYN",
+    "TCP_RST",
+    "TCP_PSH",
+    "TCP_ACK",
+    "FlowKey",
+    "FlowRecord",
+    "FlowStats",
+]
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+PORT_FTP = 21
+PORT_SMTP = 25
+PORT_DNS = 53
+PORT_HTTP = 80
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The NetFlow flow identity (Figure 10).
+
+    Ports are zero for protocols without them (ICMP).  ``input_if`` is the
+    SNMP ifIndex of the interface the constituent packets arrived on, which
+    in the InFilter deployment identifies the peer-AS-facing interface.
+    """
+
+    src_addr: int
+    dst_addr: int
+    protocol: int
+    src_port: int = 0
+    dst_port: int = 0
+    tos: int = 0
+    input_if: int = 0
+
+    def reversed(self) -> "FlowKey":
+        """The key of the opposite-direction flow (for request/response)."""
+        return FlowKey(
+            src_addr=self.dst_addr,
+            dst_addr=self.src_addr,
+            protocol=self.protocol,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            tos=self.tos,
+            input_if=self.input_if,
+        )
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """A NetFlow v5 flow record.
+
+    Times are router SysUptime milliseconds (``first``/``last``); the
+    exporter stamps them from its :class:`~repro.util.timebase.SimClock`.
+    ``src_as``/``dst_as`` carry the origin autonomous-system numbers when
+    the exporting router has them; ``src_mask``/``dst_mask`` the routing
+    prefix lengths.
+    """
+
+    key: FlowKey
+    packets: int
+    octets: int
+    first: int
+    last: int
+    next_hop: int = 0
+    tcp_flags: int = 0
+    src_as: int = 0
+    dst_as: int = 0
+    src_mask: int = 0
+    dst_mask: int = 0
+    output_if: int = 0
+    exporter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.packets <= 0:
+            raise ValueError("a flow record must cover at least one packet")
+        if self.octets <= 0:
+            raise ValueError("a flow record must cover at least one octet")
+        if self.last < self.first:
+            raise ValueError("flow end precedes flow start")
+
+    def duration_ms(self) -> int:
+        """Flow duration in milliseconds."""
+        return self.last - self.first
+
+    def stats(self) -> "FlowStats":
+        """Derive the five-feature statistic vector used by the analysis."""
+        duration_ms = self.duration_ms()
+        # A single-packet flow has zero duration; rates use a 1 ms floor so
+        # one-packet stealthy attacks still produce finite, comparable rates.
+        rate_window_s = max(duration_ms, 1) / 1000.0
+        return FlowStats(
+            octets=self.octets,
+            packets=self.packets,
+            duration_ms=duration_ms,
+            bit_rate=self.octets * 8.0 / rate_window_s,
+            packet_rate=self.packets / rate_window_s,
+        )
+
+    def with_key(self, **changes: int) -> "FlowRecord":
+        """Copy of this record with key fields replaced (used for spoofing)."""
+        return replace(self, key=replace(self.key, **changes))
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Per-flow statistics (Section 5.1.2).
+
+    These are the observable characteristics the NNS analysis encodes:
+    byte count, packet count, duration, bit rate, and packet rate.
+    """
+
+    octets: int
+    packets: int
+    duration_ms: int
+    bit_rate: float
+    packet_rate: float
+
+    def as_tuple(self) -> Tuple[float, float, float, float, float]:
+        """Fixed feature ordering used by the unary encoder."""
+        return (
+            float(self.octets),
+            float(self.packets),
+            float(self.duration_ms),
+            self.bit_rate,
+            self.packet_rate,
+        )
+
+    FEATURE_NAMES: ClassVar[Tuple[str, ...]] = (
+        "octets",
+        "packets",
+        "duration_ms",
+        "bit_rate",
+        "packet_rate",
+    )

@@ -1,0 +1,91 @@
+"""Unreliable datagram transport between exporters and the collector.
+
+NetFlow export rides UDP: datagrams can be lost, reordered, or
+duplicated, and the v5 ``flow_sequence`` field exists precisely so
+collectors can account for the damage.  :class:`UdpChannel` models such a
+path with configurable impairment rates, deterministically under a seeded
+RNG, so tests and experiments can quantify how the collector's loss
+accounting and the detector respond to transport degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.util.errors import ConfigError
+from repro.util.rng import SeededRng
+
+__all__ = ["ChannelConfig", "ChannelStats", "UdpChannel"]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Impairment rates, each an independent per-datagram probability.
+
+    ``reorder_probability`` holds a datagram back one slot (it swaps with
+    its successor), the common mild reordering of load-balanced paths.
+    """
+
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_probability", "duplicate_probability", "reorder_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1)")
+
+
+@dataclass
+class ChannelStats:
+    """What the channel did to the traffic."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+
+
+class UdpChannel:
+    """A lossy, reordering, duplicating datagram path."""
+
+    def __init__(self, config: ChannelConfig, *, rng: SeededRng) -> None:
+        self.config = config
+        self._rng = rng.fork("udp-channel")
+        self.stats = ChannelStats()
+
+    def transmit(self, datagrams: Iterable[bytes]) -> Iterator[bytes]:
+        """Push datagrams through the channel, yielding what arrives.
+
+        Impairments are applied in a fixed order per datagram: loss first
+        (a lost datagram can be neither duplicated nor reordered), then
+        duplication, then one-slot reordering.
+        """
+        held: List[bytes] = []
+        for datagram in datagrams:
+            self.stats.sent += 1
+            if self._rng.bernoulli(self.config.loss_probability):
+                self.stats.lost += 1
+                continue
+            out: List[bytes] = [datagram]
+            if self._rng.bernoulli(self.config.duplicate_probability):
+                self.stats.duplicated += 1
+                out.append(datagram)
+            for item in out:
+                if held:
+                    # A held datagram departs after its successor: swap.
+                    yield item
+                    yield held.pop()
+                    self.stats.delivered += 2
+                elif self._rng.bernoulli(self.config.reorder_probability):
+                    self.stats.reordered += 1
+                    held.append(item)
+                else:
+                    self.stats.delivered += 1
+                    yield item
+        for item in held:
+            self.stats.delivered += 1
+            yield item

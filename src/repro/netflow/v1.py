@@ -1,0 +1,191 @@
+"""NetFlow version 1 wire format.
+
+The original export format, still emitted by old gear when the paper was
+written and handled by Flow-tools alongside v5.  Differences from v5:
+
+* 16-byte header — no flow sequence (loss is invisible!), no engine or
+  sampling fields;
+* 48-byte records without the AS numbers, routing masks, or TOS-adjacent
+  padding layout of v5 (the tail bytes are reserved).
+
+Records decode into the same :class:`FlowRecord` type with the v5-only
+fields zeroed, so everything downstream (files, filters, reports, the
+detector) consumes either version transparently.
+:func:`upgrade_records` annotates v1-decoded records the way a v5
+exporter would, given a routing oracle.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.errors import NetFlowDecodeError, NetFlowError
+
+__all__ = [
+    "NETFLOW_V1_VERSION",
+    "V1_HEADER_LEN",
+    "V1_RECORD_LEN",
+    "MAX_V1_RECORDS",
+    "encode_v1_datagram",
+    "decode_v1_datagram",
+    "upgrade_records",
+]
+
+NETFLOW_V1_VERSION = 1
+V1_HEADER_LEN = 16
+V1_RECORD_LEN = 48
+MAX_V1_RECORDS = 24
+
+_V1_HEADER = struct.Struct("!HHIII")
+# srcaddr dstaddr nexthop input output dPkts dOctets first last
+# srcport dstport pad1(2) prot tos flags pad2(7)
+_V1_RECORD = struct.Struct("!IIIHHIIIIHHHBBB7x")
+
+_U16 = 0xFFFF
+_U32 = 0xFFFFFFFF
+
+
+def encode_v1_datagram(
+    records: Sequence[FlowRecord],
+    *,
+    sys_uptime: int,
+    unix_secs: int,
+    unix_nsecs: int = 0,
+) -> bytes:
+    """Encode up to 24 records as a NetFlow v1 export datagram.
+
+    v1 cannot carry AS numbers, masks, or a flow sequence; those fields
+    are silently dropped, as a real v1 exporter would.
+    """
+    if not records:
+        raise NetFlowError("a v1 datagram must carry at least one record")
+    if len(records) > MAX_V1_RECORDS:
+        raise NetFlowError(
+            f"v1 datagrams carry at most {MAX_V1_RECORDS} records,"
+            f" got {len(records)}"
+        )
+    parts: List[bytes] = [
+        _V1_HEADER.pack(
+            NETFLOW_V1_VERSION,
+            len(records),
+            sys_uptime & _U32,
+            unix_secs & _U32,
+            unix_nsecs & _U32,
+        )
+    ]
+    for record in records:
+        key = record.key
+        parts.append(
+            _V1_RECORD.pack(
+                key.src_addr & _U32,
+                key.dst_addr & _U32,
+                record.next_hop & _U32,
+                key.input_if & _U16,
+                record.output_if & _U16,
+                record.packets & _U32,
+                record.octets & _U32,
+                record.first & _U32,
+                record.last & _U32,
+                key.src_port & _U16,
+                key.dst_port & _U16,
+                0,  # pad
+                key.protocol & 0xFF,
+                key.tos & 0xFF,
+                record.tcp_flags & 0xFF,
+            )
+        )
+    return b"".join(parts)
+
+
+def decode_v1_datagram(data: bytes) -> Tuple[int, List[FlowRecord]]:
+    """Decode a v1 datagram; returns (sys_uptime, records)."""
+    if len(data) < V1_HEADER_LEN:
+        raise NetFlowDecodeError(
+            f"datagram too short for a v1 header: {len(data)} bytes"
+        )
+    version, count, sys_uptime, _secs, _nsecs = _V1_HEADER.unpack_from(data, 0)
+    if version != NETFLOW_V1_VERSION:
+        raise NetFlowDecodeError(f"unsupported NetFlow version {version}")
+    if count == 0 or count > MAX_V1_RECORDS:
+        raise NetFlowDecodeError(f"record count {count} out of range")
+    expected = V1_HEADER_LEN + count * V1_RECORD_LEN
+    if len(data) < expected:
+        raise NetFlowDecodeError(
+            f"datagram truncated: header claims {count} records"
+        )
+    records: List[FlowRecord] = []
+    offset = V1_HEADER_LEN
+    for _ in range(count):
+        (
+            src_addr,
+            dst_addr,
+            next_hop,
+            input_if,
+            output_if,
+            packets,
+            octets,
+            first,
+            last,
+            src_port,
+            dst_port,
+            _pad,
+            protocol,
+            tos,
+            tcp_flags,
+        ) = _V1_RECORD.unpack_from(data, offset)
+        offset += V1_RECORD_LEN
+        try:
+            record = FlowRecord(
+                key=FlowKey(
+                    src_addr=src_addr,
+                    dst_addr=dst_addr,
+                    protocol=protocol,
+                    src_port=src_port,
+                    dst_port=dst_port,
+                    tos=tos,
+                    input_if=input_if,
+                ),
+                packets=packets,
+                octets=octets,
+                first=first,
+                last=last,
+                next_hop=next_hop,
+                tcp_flags=tcp_flags,
+                output_if=output_if,
+            )
+        except ValueError as error:
+            raise NetFlowDecodeError(
+                f"invalid flow record in v1 datagram: {error}"
+            ) from error
+        records.append(record)
+    return sys_uptime, records
+
+
+def upgrade_records(
+    records: Iterable[FlowRecord],
+    *,
+    origin_as_for: Optional[Callable[[int], int]] = None,
+    mask_for: Optional[Callable[[int], int]] = None,
+) -> List[FlowRecord]:
+    """Fill the v5-only fields on v1-decoded records from a routing oracle.
+
+    ``origin_as_for(address)`` returns the origin ASN for an address;
+    ``mask_for(address)`` its routing prefix length.  Either may be
+    omitted (fields stay zero).  This is what a collector that knows the
+    routing table does when normalising mixed-version feeds.
+    """
+    from dataclasses import replace
+
+    upgraded: List[FlowRecord] = []
+    for record in records:
+        changes = {}
+        if origin_as_for is not None:
+            changes["src_as"] = origin_as_for(record.key.src_addr)
+            changes["dst_as"] = origin_as_for(record.key.dst_addr)
+        if mask_for is not None:
+            changes["src_mask"] = mask_for(record.key.src_addr)
+            changes["dst_mask"] = mask_for(record.key.dst_addr)
+        upgraded.append(replace(record, **changes) if changes else record)
+    return upgraded

@@ -1,0 +1,64 @@
+"""Internet routing substrate: topology, BGP, traceroute, Looking Glass."""
+
+from repro.routing.bgp import CollectorEntry, Route, RouteCollector, best_paths
+from repro.routing.lookingglass import (
+    LookingGlassSite,
+    ParsedTraceroute,
+    parse_traceroute,
+)
+from repro.routing.names import NameRegistry, RouterName, router_of_fqdn
+from repro.routing.table import (
+    IngressMap,
+    ParsedRoute,
+    derive_ingress_map,
+    parse_show_ip_bgp,
+    render_show_ip_bgp,
+)
+from repro.routing.topology import (
+    Adjacency,
+    ASNode,
+    ASTopology,
+    BoundaryLink,
+    DynamicsRates,
+    Relationship,
+    TopologyDynamics,
+    TopologyParams,
+    generate_internet,
+)
+from repro.routing.traceroute import (
+    Hop,
+    LastHop,
+    TracerouteResult,
+    TracerouteSimulator,
+)
+
+__all__ = [
+    "CollectorEntry",
+    "Route",
+    "RouteCollector",
+    "best_paths",
+    "LookingGlassSite",
+    "ParsedTraceroute",
+    "parse_traceroute",
+    "NameRegistry",
+    "RouterName",
+    "router_of_fqdn",
+    "IngressMap",
+    "ParsedRoute",
+    "derive_ingress_map",
+    "parse_show_ip_bgp",
+    "render_show_ip_bgp",
+    "Adjacency",
+    "ASNode",
+    "ASTopology",
+    "BoundaryLink",
+    "DynamicsRates",
+    "Relationship",
+    "TopologyDynamics",
+    "TopologyParams",
+    "generate_internet",
+    "Hop",
+    "LastHop",
+    "TracerouteResult",
+    "TracerouteSimulator",
+]

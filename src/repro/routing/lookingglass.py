@@ -1,0 +1,110 @@
+"""Looking-Glass sites: remote traceroute execution plus output parsing.
+
+A Looking-Glass site lets anyone run traceroute from an ISP's vantage
+point and read back the textual output.  :class:`LookingGlassSite` models
+one site; the Section 3.1 study drives a fleet of them and parses the text
+they return — the same scrape-and-parse pipeline the paper's Java script
+implemented.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.routing.names import router_of_fqdn
+from repro.routing.traceroute import Hop, TracerouteResult, TracerouteSimulator
+from repro.util.errors import RoutingError
+from repro.util.ip import parse_ipv4
+
+__all__ = ["LookingGlassSite", "ParsedTraceroute", "parse_traceroute"]
+
+_HOP_LINE = re.compile(
+    r"^\s*(?P<ttl>\d+)\s+(?P<fqdn>\S+)\s+\((?P<addr>[\d.]+)\)\s+(?P<rtt>[\d.]+) ms"
+)
+_LOSS_LINE = re.compile(r"^\s*(?P<ttl>\d+)\s+\* \* \*\s*$")
+_HEADER_LINE = re.compile(r"^traceroute to .*\((?P<target>[\d.]+)\)")
+
+
+@dataclass(frozen=True)
+class ParsedTraceroute:
+    """Hops recovered from textual traceroute output."""
+
+    target: int
+    hops: Tuple[Hop, ...]
+    complete: bool
+
+    def last_hop_raw(self) -> Optional[Tuple[int, int]]:
+        """(peer address, border address) at raw granularity."""
+        if not self.complete or len(self.hops) < 3:
+            return None
+        return (self.hops[-3].address, self.hops[-2].address)
+
+    def last_hop_fqdn(self) -> Optional[Tuple[str, str]]:
+        """(peer router, border router) after FQDN smoothing."""
+        if not self.complete or len(self.hops) < 3:
+            return None
+        return (
+            router_of_fqdn(self.hops[-3].fqdn),
+            router_of_fqdn(self.hops[-2].fqdn),
+        )
+
+
+def parse_traceroute(text: str) -> ParsedTraceroute:
+    """Parse classic traceroute text into hops.
+
+    A trailing ``* * *`` line marks an incomplete run; the final resolved
+    hop of a complete run is the destination itself.
+    """
+    target: Optional[int] = None
+    hops: List[Hop] = []
+    complete = True
+    for line in text.splitlines():
+        header = _HEADER_LINE.match(line)
+        if header:
+            target = parse_ipv4(header.group("target"))
+            continue
+        loss = _LOSS_LINE.match(line)
+        if loss:
+            complete = False
+            continue
+        match = _HOP_LINE.match(line)
+        if match:
+            hops.append(
+                Hop(
+                    ttl=int(match.group("ttl")),
+                    address=parse_ipv4(match.group("addr")),
+                    fqdn=match.group("fqdn"),
+                    rtt_ms=float(match.group("rtt")),
+                    asn=-1,  # text output does not carry the ASN
+                )
+            )
+    if target is None:
+        raise RoutingError("traceroute output missing its header line")
+    if complete and hops and hops[-1].address != target:
+        # The run ended without reaching the destination (e.g. max TTL).
+        complete = False
+    return ParsedTraceroute(target=target, hops=tuple(hops), complete=complete)
+
+
+class LookingGlassSite:
+    """One Looking-Glass vantage point.
+
+    ``name`` is presentational; ``asn`` anchors the vantage in the
+    topology.  :meth:`traceroute` returns the textual output a scraper
+    would fetch from the site's web form.
+    """
+
+    def __init__(self, name: str, asn: int, simulator: TracerouteSimulator) -> None:
+        self.name = name
+        self.asn = asn
+        self._simulator = simulator
+
+    def traceroute(self, target_address: int) -> str:
+        """Run traceroute to ``target_address`` and return its text."""
+        result: TracerouteResult = self._simulator.trace(self.asn, target_address)
+        return result.render()
+
+    def __repr__(self) -> str:
+        return f"LookingGlassSite(name={self.name!r}, asn={self.asn})"

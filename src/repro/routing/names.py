@@ -1,0 +1,84 @@
+"""FQDN assignment for router interfaces.
+
+The traceroute study's *aggregated* analysis (Section 3.1) collapses
+redundant/load-shared parallel links by noticing that their interface
+addresses reverse-resolve to names on the same router.  This module models
+that: every AS gets a stable domain, every router in it a stable router
+label, and every interface a name of the form
+``<ifname>.<router>.<domain>``.  Two interfaces on the same router share
+the router/domain portion even when their subnets differ, which is exactly
+the property FQDN smoothing exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["RouterName", "NameRegistry", "router_of_fqdn"]
+
+_DOMAIN_WORDS = (
+    "lumen", "verio", "sprint", "ebone", "telia", "ntt", "gblx", "seabone",
+    "cogent", "tata", "zayo", "pccw", "telstra", "rostel", "claro", "hanaro",
+)
+_CITY_CODES = (
+    "nyc", "chi", "dfw", "sjc", "lax", "iad", "atl", "sea", "mia", "den",
+    "lon", "par", "fra", "ams", "tok", "syd", "hkg", "sin", "yyz", "gru",
+)
+_IF_PREFIXES = ("ge", "so", "xe", "te", "et")
+
+
+@dataclass(frozen=True)
+class RouterName:
+    """The stable identity of a router for naming purposes."""
+
+    asn: int
+    router_id: int
+
+    def domain(self) -> str:
+        word = _DOMAIN_WORDS[self.asn % len(_DOMAIN_WORDS)]
+        return f"{word}{self.asn}.net"
+
+    def label(self) -> str:
+        city = _CITY_CODES[(self.asn * 7 + self.router_id) % len(_CITY_CODES)]
+        return f"cr{self.router_id}.{city}"
+
+    def fqdn_suffix(self) -> str:
+        return f"{self.label()}.{self.domain()}"
+
+
+class NameRegistry:
+    """Assigns and remembers interface FQDNs.
+
+    Interface names are deterministic in (router, interface index) so a
+    re-run of a study sees identical names, and distinct interfaces on one
+    router differ only in the interface component.
+    """
+
+    def __init__(self) -> None:
+        self._by_address: Dict[int, str] = {}
+
+    def interface_fqdn(self, router: RouterName, if_index: int, address: int) -> str:
+        """Register (or return the existing) FQDN for an interface address."""
+        existing = self._by_address.get(address)
+        if existing is not None:
+            return existing
+        prefix = _IF_PREFIXES[if_index % len(_IF_PREFIXES)]
+        slot = if_index // len(_IF_PREFIXES)
+        fqdn = f"{prefix}-{slot}-{if_index % 4}-0.{router.fqdn_suffix()}"
+        self._by_address[address] = fqdn
+        return fqdn
+
+    def resolve(self, address: int) -> Optional[str]:
+        """Reverse lookup: the FQDN registered for an address, if any."""
+        return self._by_address.get(address)
+
+
+def router_of_fqdn(fqdn: str) -> str:
+    """Strip the interface component, leaving the router identity.
+
+    ``ge-1-2-0.cr1.nyc.lumen7018.net`` → ``cr1.nyc.lumen7018.net``.  Two
+    parallel-link interfaces on one router smooth to the same value.
+    """
+    _interface, _, router = fqdn.partition(".")
+    return router

@@ -1,0 +1,513 @@
+"""AS-level Internet topology with router-level boundary detail.
+
+The validation studies (Section 3) need an Internet whose *inter-AS*
+structure changes rarely (BGP policy) while *intra-AS* paths and
+parallel-link selection change often (IGP churn, load sharing).  This
+module builds such a topology:
+
+* a three-tier AS hierarchy (fully-meshed tier-1 core, multi-homed tier-2
+  transits, stub edge networks) with Gao–Rexford relationships
+  (customer→provider and peer—peer edges);
+* per-adjacency *boundary links*: one to three parallel physical links
+  between border routers, each with its own interface subnet and FQDNs —
+  the redundancy/load-sharing the paper's aggregated analysis smooths out;
+* :class:`TopologyDynamics`, a Poisson event process that flips load-shared
+  link selection (often), churns IGP epochs (very often), and re-prefers
+  BGP policies (rarely).
+
+The same topology drives both the traceroute study (router-level paths via
+:mod:`repro.routing.traceroute`) and the BGP study (AS-level paths via
+:mod:`repro.routing.bgp`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.routing.names import NameRegistry, RouterName
+from repro.util.errors import RoutingError
+from repro.util.ip import Prefix, PrefixTrie
+from repro.util.rng import SeededRng
+
+__all__ = [
+    "Relationship",
+    "ASNode",
+    "BoundaryLink",
+    "Adjacency",
+    "ASTopology",
+    "TopologyParams",
+    "generate_internet",
+    "TopologyDynamics",
+    "DynamicsRates",
+]
+
+
+class Relationship:
+    """Edge roles in the Gao–Rexford model."""
+
+    CUSTOMER = "customer"  # the tagged AS pays the other (other is provider)
+    PROVIDER = "provider"  # the tagged AS is paid by the other
+    PEER = "peer"          # settlement-free
+
+
+@dataclass
+class ASNode:
+    """One autonomous system."""
+
+    asn: int
+    tier: int
+    prefixes: List[Prefix] = field(default_factory=list)
+    igp_epoch: int = 0
+    #: local-pref tweak per neighbor ASN; higher wins within a class.
+    local_pref: Dict[int, int] = field(default_factory=dict)
+
+    def pref_for(self, neighbor_asn: int) -> int:
+        return self.local_pref.get(neighbor_asn, 100)
+
+
+@dataclass
+class BoundaryLink:
+    """One physical link of an inter-AS adjacency.
+
+    ``a_addr``/``b_addr`` are the interface addresses of the two ends;
+    ``a_router``/``b_router`` their routers.  Parallel links of one
+    adjacency may or may not share a /24, which is exactly the ambiguity
+    the traceroute study's aggregation rules must handle.
+    """
+
+    a_router: RouterName
+    b_router: RouterName
+    a_addr: int
+    b_addr: int
+
+
+@dataclass
+class Adjacency:
+    """An AS-level adjacency: relationship + parallel boundary links.
+
+    ``relationship`` is the role of ``a`` relative to ``b``: ``CUSTOMER``
+    means *a is a customer of b*.  ``active_link`` is the index of the
+    currently-selected parallel link (sticky load-sharing state that
+    :class:`TopologyDynamics` occasionally flips).
+    """
+
+    a: int
+    b: int
+    relationship: str
+    links: List[BoundaryLink]
+    active_link: int = 0
+
+    def role_of(self, asn: int) -> str:
+        """The relationship as seen from ``asn``'s side."""
+        if asn == self.a:
+            return self.relationship
+        if asn == self.b:
+            if self.relationship == Relationship.CUSTOMER:
+                return Relationship.PROVIDER
+            if self.relationship == Relationship.PROVIDER:
+                return Relationship.CUSTOMER
+            return Relationship.PEER
+        raise RoutingError(f"AS {asn} is not on adjacency {self.a}-{self.b}")
+
+    def other(self, asn: int) -> int:
+        if asn == self.a:
+            return self.b
+        if asn == self.b:
+            return self.a
+        raise RoutingError(f"AS {asn} is not on adjacency {self.a}-{self.b}")
+
+    def current_link(self) -> BoundaryLink:
+        return self.links[self.active_link]
+
+
+@dataclass(frozen=True)
+class TopologyParams:
+    """Knobs for :func:`generate_internet`."""
+
+    n_tier1: int = 8
+    n_tier2: int = 40
+    n_stub: int = 120
+    providers_per_tier2: Tuple[int, int] = (2, 4)
+    providers_per_stub: Tuple[int, int] = (1, 3)
+    tier2_peer_fraction: float = 0.25
+    parallel_link_fraction: float = 0.6
+    same_subnet_fraction: float = 0.7
+    prefixes_per_stub: Tuple[int, int] = (1, 2)
+    first_asn: int = 1
+
+
+class ASTopology:
+    """The AS graph plus boundary-link details and interface naming."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, ASNode] = {}
+        self._adjacency: Dict[FrozenSet[int], Adjacency] = {}
+        self._neighbors: Dict[int, List[int]] = {}
+        self.names = NameRegistry()
+        self._link_pool = _LinkAddressPool()
+        #: bumped whenever a policy change can alter best paths; consumers
+        #: (traceroute simulator, route collector) key caches on it.
+        self.policy_epoch = 0
+        self._origin_cache: Optional[PrefixTrie[int]] = None
+
+    # -- construction -----------------------------------------------------
+
+    def add_as(self, node: ASNode) -> None:
+        if node.asn in self.nodes:
+            raise RoutingError(f"duplicate AS {node.asn}")
+        self.nodes[node.asn] = node
+        self._neighbors[node.asn] = []
+
+    def connect(
+        self,
+        a: int,
+        b: int,
+        relationship: str,
+        *,
+        n_links: int = 1,
+        same_subnet: bool = True,
+    ) -> Adjacency:
+        """Create an adjacency; ``relationship`` is a's role toward b."""
+        if a not in self.nodes or b not in self.nodes:
+            raise RoutingError(f"both ASes must exist before connecting {a}-{b}")
+        key = frozenset((a, b))
+        if key in self._adjacency:
+            raise RoutingError(f"adjacency {a}-{b} already exists")
+        links = [
+            self._make_link(a, b, index, same_subnet)
+            for index in range(max(1, n_links))
+        ]
+        adjacency = Adjacency(a=a, b=b, relationship=relationship, links=links)
+        self._adjacency[key] = adjacency
+        self._neighbors[a].append(b)
+        self._neighbors[b].append(a)
+        return adjacency
+
+    def _make_link(self, a: int, b: int, index: int, same_subnet: bool) -> BoundaryLink:
+        # Parallel links of one adjacency land on the same border-router
+        # pair (ECMP bundle); only the interface — and hence the interface
+        # address and the interface component of the FQDN — differs.  This
+        # is the property FQDN smoothing exploits in Section 3.1.
+        a_router = RouterName(asn=a, router_id=1 + (b % 3))
+        b_router = RouterName(asn=b, router_id=1 + (a % 3))
+        a_addr, b_addr = self._link_pool.allocate_pair(
+            group=(min(a, b), max(a, b)), index=index, same_subnet=same_subnet
+        )
+        self.names.interface_fqdn(a_router, index, a_addr)
+        self.names.interface_fqdn(b_router, index, b_addr)
+        return BoundaryLink(a_router=a_router, b_router=b_router, a_addr=a_addr, b_addr=b_addr)
+
+    # -- queries ----------------------------------------------------------
+
+    def adjacency(self, a: int, b: int) -> Adjacency:
+        try:
+            return self._adjacency[frozenset((a, b))]
+        except KeyError:
+            raise RoutingError(f"no adjacency between AS {a} and AS {b}") from None
+
+    def adjacencies(self) -> Iterator[Adjacency]:
+        return iter(self._adjacency.values())
+
+    def neighbors(self, asn: int) -> List[int]:
+        return list(self._neighbors.get(asn, ()))
+
+    def neighbors_by_role(self, asn: int, role: str) -> List[int]:
+        """Neighbors toward which ``asn`` holds the given role.
+
+        ``role == CUSTOMER`` returns asn's *providers* (asn is their
+        customer); ``PROVIDER`` returns asn's customers; ``PEER`` its peers.
+        """
+        result = []
+        for other in self._neighbors.get(asn, ()):
+            if self.adjacency(asn, other).role_of(asn) == role:
+                result.append(other)
+        return result
+
+    def providers_of(self, asn: int) -> List[int]:
+        return self.neighbors_by_role(asn, Relationship.CUSTOMER)
+
+    def customers_of(self, asn: int) -> List[int]:
+        return self.neighbors_by_role(asn, Relationship.PROVIDER)
+
+    def peers_of(self, asn: int) -> List[int]:
+        return self.neighbors_by_role(asn, Relationship.PEER)
+
+    def origin_of(self, address: int) -> Optional[Tuple[int, Prefix]]:
+        """The (ASN, most specific prefix) originating ``address``.
+
+        Backed by a longest-prefix-match trie built on first use; callers
+        that add prefixes after querying must call
+        :meth:`invalidate_origins`.
+        """
+        if self._origin_cache is None:
+            trie: PrefixTrie[int] = PrefixTrie()
+            for node in self.nodes.values():
+                for prefix in node.prefixes:
+                    trie.insert(prefix, node.asn)
+            self._origin_cache = trie
+        match = self._origin_cache.longest_match(address)
+        if match is None:
+            return None
+        prefix, asn = match
+        return asn, prefix
+
+    def invalidate_origins(self) -> None:
+        """Drop the origin lookup cache after prefix changes."""
+        self._origin_cache = None
+
+    def all_prefixes(self) -> List[Tuple[Prefix, int]]:
+        """Every originated (prefix, origin ASN) pair."""
+        result = []
+        for node in self.nodes.values():
+            for prefix in node.prefixes:
+                result.append((prefix, node.asn))
+        return result
+
+
+class _LinkAddressPool:
+    """Deterministic allocator for boundary-link interface addresses.
+
+    Addresses come from 146.0.0.0/8 (an arbitrary routable block reserved
+    here for infrastructure).  Parallel links of one adjacency either share
+    a /24 (consecutive /30s) or sit in separate /24s, matching the two
+    cases Section 3.1 describes.
+    """
+
+    BASE = Prefix.parse("146.0.0.0/8")
+
+    def __init__(self) -> None:
+        self._next_s24 = 0
+        self._group_s24: Dict[Tuple[int, int], int] = {}
+
+    def allocate_pair(
+        self, group: Tuple[int, int], index: int, same_subnet: bool
+    ) -> Tuple[int, int]:
+        if same_subnet:
+            s24 = self._group_s24.get(group)
+            if s24 is None:
+                s24 = self._fresh_s24()
+                self._group_s24[group] = s24
+        else:
+            s24 = self._fresh_s24()
+        base = self.BASE.network + (s24 << 8) + (index % 64) * 4
+        return base + 1, base + 2
+
+    def _fresh_s24(self) -> int:
+        s24 = self._next_s24
+        self._next_s24 += 1
+        if self._next_s24 >= (1 << 16):
+            raise RoutingError("boundary-link address pool exhausted")
+        return s24
+
+
+def generate_internet(
+    params: TopologyParams = TopologyParams(), *, rng: SeededRng
+) -> ASTopology:
+    """Generate a three-tier Internet-like topology.
+
+    Tier-1 ASes form a full peer mesh; tier-2 ASes buy transit from 2–4
+    tier-1s and peer with a fraction of each other; stubs buy transit from
+    1–3 tier-2s (occasionally a tier-1).  Prefix space for edge networks is
+    carved from 4.0.0.0/8 upward, one or two /16s (sometimes with a more
+    specific /24) per stub, mirroring the paper's Genuity example where a
+    /24 more specific than a /8 redirects ingress.
+    """
+    topology = ASTopology()
+    asn_counter = itertools.count(params.first_asn)
+    tier1 = [next(asn_counter) for _ in range(params.n_tier1)]
+    tier2 = [next(asn_counter) for _ in range(params.n_tier2)]
+    stubs = [next(asn_counter) for _ in range(params.n_stub)]
+
+    for asn in tier1:
+        topology.add_as(ASNode(asn=asn, tier=1))
+    for asn in tier2:
+        topology.add_as(ASNode(asn=asn, tier=2))
+    for asn in stubs:
+        topology.add_as(ASNode(asn=asn, tier=3))
+
+    link_rng = rng.fork("links")
+
+    def link_kwargs() -> Dict[str, object]:
+        parallel = link_rng.bernoulli(params.parallel_link_fraction)
+        n_links = link_rng.choice((2, 2, 3)) if parallel else 1
+        return {
+            "n_links": n_links,
+            "same_subnet": link_rng.bernoulli(params.same_subnet_fraction),
+        }
+
+    # Tier-1 full peer mesh.
+    for a, b in itertools.combinations(tier1, 2):
+        topology.connect(a, b, Relationship.PEER, **link_kwargs())
+
+    # Tier-2 transit and peering.
+    pick = rng.fork("attach")
+    for asn in tier2:
+        n_providers = pick.randint(*params.providers_per_tier2)
+        for provider in pick.sample(tier1, min(n_providers, len(tier1))):
+            topology.connect(asn, provider, Relationship.CUSTOMER, **link_kwargs())
+    for a, b in itertools.combinations(tier2, 2):
+        if pick.bernoulli(params.tier2_peer_fraction / max(len(tier2) / 12.0, 1.0)):
+            topology.connect(a, b, Relationship.PEER, **link_kwargs())
+
+    # Stub attachment.
+    for asn in stubs:
+        n_providers = pick.randint(*params.providers_per_stub)
+        pool = tier2 if pick.random() < 0.85 else tier1 + tier2
+        for provider in pick.sample(pool, min(n_providers, len(pool))):
+            try:
+                topology.connect(asn, provider, Relationship.CUSTOMER, **link_kwargs())
+            except RoutingError:
+                continue  # sampled the same provider twice across pools
+
+    # Prefix origination for edge networks.
+    prefix_rng = rng.fork("prefixes")
+    s16 = itertools.count(0)
+    for asn in stubs + tier2:
+        node = topology.nodes[asn]
+        n_prefixes = prefix_rng.randint(*params.prefixes_per_stub)
+        for _ in range(n_prefixes):
+            index = next(s16)
+            network = (4 << 24) + (index << 16)
+            if network >= (32 << 24):
+                raise RoutingError("prefix space exhausted; shrink the topology")
+            prefix = Prefix(network & ~0xFFFF, 16)
+            node.prefixes.append(prefix)
+            if prefix_rng.bernoulli(0.2):
+                node.prefixes.append(Prefix(prefix.network, 24))
+    return topology
+
+
+@dataclass(frozen=True)
+class DynamicsRates:
+    """Poisson event rates (per hour) for the three churn processes.
+
+    Defaults are calibrated so a 30-minute traceroute sampling run sees a
+    few percent raw last-hop change (load-share flips), near-zero
+    aggregated change (policy events only), and heavy mid-path churn
+    (IGP epochs) — the Figure 1 stability profile.
+    """
+
+    link_flip_per_adjacency: float = 0.11
+    igp_churn_per_as: float = 0.5
+    policy_change_per_as: float = 0.02
+
+    def __post_init__(self) -> None:
+        if min(
+            self.link_flip_per_adjacency,
+            self.igp_churn_per_as,
+            self.policy_change_per_as,
+        ) < 0:
+            raise RoutingError("event rates must be non-negative")
+
+
+class TopologyDynamics:
+    """Applies time-driven churn to a topology.
+
+    Every entity (adjacency, AS) owns an independent event stream with
+    exponential inter-arrival times, so a run with a given seed replays
+    the same event sequence no matter how the caller slices time.
+    """
+
+    def __init__(
+        self,
+        topology: ASTopology,
+        rates: DynamicsRates = DynamicsRates(),
+        *,
+        rng: SeededRng,
+    ) -> None:
+        self.topology = topology
+        self.rates = rates
+        self._rng = rng.fork("dynamics")
+        self._now = 0.0
+        self.policy_events = 0
+        self.flip_events = 0
+        self.igp_events = 0
+        # Per-entity state: (next event time, private RNG stream).
+        self._flip_state: Dict[FrozenSet[int], Tuple[float, SeededRng]] = {}
+        self._igp_state: Dict[int, Tuple[float, SeededRng]] = {}
+        self._policy_state: Dict[int, Tuple[float, SeededRng]] = {}
+        self._schedule_initial()
+
+    def _schedule_initial(self) -> None:
+        hours = 3600.0
+        for adjacency in self.topology.adjacencies():
+            if len(adjacency.links) > 1 and self.rates.link_flip_per_adjacency > 0:
+                key = frozenset((adjacency.a, adjacency.b))
+                stream = self._rng.fork(f"flip-{min(key)}-{max(key)}")
+                self._flip_state[key] = (
+                    stream.expovariate(self.rates.link_flip_per_adjacency / hours),
+                    stream,
+                )
+        for asn in self.topology.nodes:
+            if self.rates.igp_churn_per_as > 0:
+                stream = self._rng.fork(f"igp-{asn}")
+                self._igp_state[asn] = (
+                    stream.expovariate(self.rates.igp_churn_per_as / hours),
+                    stream,
+                )
+            if self.rates.policy_change_per_as > 0 and self._is_multihomed(asn):
+                stream = self._rng.fork(f"policy-{asn}")
+                self._policy_state[asn] = (
+                    stream.expovariate(self.rates.policy_change_per_as / hours),
+                    stream,
+                )
+
+    def _is_multihomed(self, asn: int) -> bool:
+        return len(self.topology.providers_of(asn)) >= 2
+
+    def advance_to(self, timestamp: float) -> None:
+        """Apply every event scheduled at or before ``timestamp``."""
+        if timestamp < self._now:
+            raise RoutingError("dynamics cannot move backwards in time")
+        hours = 3600.0
+        flip_rate = self.rates.link_flip_per_adjacency / hours
+        for key, (due, stream) in self._flip_state.items():
+            while due <= timestamp:
+                self._flip_link(key, stream)
+                due += stream.expovariate(flip_rate)
+            self._flip_state[key] = (due, stream)
+        igp_rate = self.rates.igp_churn_per_as / hours
+        for asn, (due, stream) in self._igp_state.items():
+            count = 0
+            while due <= timestamp:
+                count += 1
+                due += stream.expovariate(igp_rate)
+            if count:
+                self.topology.nodes[asn].igp_epoch += count
+                self.igp_events += count
+            self._igp_state[asn] = (due, stream)
+        policy_rate = self.rates.policy_change_per_as / hours
+        for asn, (due, stream) in self._policy_state.items():
+            while due <= timestamp:
+                self._change_policy(asn, stream)
+                due += stream.expovariate(policy_rate)
+            self._policy_state[asn] = (due, stream)
+        self._now = timestamp
+
+    def _flip_link(self, key: FrozenSet[int], stream: SeededRng) -> None:
+        a, b = tuple(key)
+        adjacency = self.topology.adjacency(a, b)
+        if len(adjacency.links) > 1:
+            step = stream.randint(1, len(adjacency.links) - 1)
+            adjacency.active_link = (adjacency.active_link + step) % len(adjacency.links)
+            self.flip_events += 1
+
+    def _change_policy(self, asn: int, stream: SeededRng) -> None:
+        """Re-prefer one of the AS's transit providers.
+
+        Bumping one provider's local-pref above the default redirects the
+        AS's outbound best paths — and, symmetrically in our studies, the
+        ingress used by traffic it sources.
+        """
+        node = self.topology.nodes[asn]
+        providers = self.topology.providers_of(asn)
+        if len(providers) < 2:
+            return
+        chosen = stream.choice(providers)
+        for provider in providers:
+            node.local_pref[provider] = 100
+        node.local_pref[chosen] = 110
+        self.policy_events += 1
+        self.topology.policy_epoch += 1

@@ -1,0 +1,236 @@
+"""Router-level path expansion and traceroute emulation.
+
+Expands an AS-level best path into the hop sequence a traceroute would
+observe:
+
+* inside each transit AS, one to three internal hops whose addresses are a
+  deterministic function of the AS's current ``igp_epoch`` — so IGP churn
+  changes mid-path hops without touching the inter-AS boundary;
+* at each AS boundary, the two interface addresses of the adjacency's
+  *currently active* parallel link — so load-share flips change the
+  last-hop addresses (raw change) while the routers, and hence FQDNs,
+  stay put;
+* optional probe loss producing incomplete traceroutes.
+
+The final two responding hops before the destination are the (Peer AS,
+Border Router) pair the InFilter validation study tracks (Figure 3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.routing.bgp import best_paths
+from repro.routing.names import RouterName, router_of_fqdn
+from repro.routing.topology import ASTopology
+from repro.util.errors import NoRouteError, RoutingError
+from repro.util.ip import Prefix, format_ipv4
+from repro.util.rng import SeededRng
+
+__all__ = ["Hop", "TracerouteResult", "TracerouteSimulator", "LastHop"]
+
+_INTERNAL_BASE = Prefix.parse("150.0.0.0/8")
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One responding hop: TTL index, address, FQDN, RTT."""
+
+    ttl: int
+    address: int
+    fqdn: str
+    rtt_ms: float
+    asn: int
+
+    def subnet24(self) -> Prefix:
+        """The /24 containing this hop, for the study's subnet smoothing."""
+        return Prefix.from_address(self.address, 24)
+
+    def router(self) -> str:
+        """Router identity from the FQDN, for FQDN smoothing."""
+        return router_of_fqdn(self.fqdn)
+
+
+@dataclass(frozen=True)
+class LastHop:
+    """The (Peer AS hop, Border Router hop) pair preceding the target."""
+
+    peer: Hop
+    border: Hop
+
+    def raw_key(self) -> Tuple[int, int]:
+        """Identity at raw IP granularity (the non-aggregated case)."""
+        return (self.peer.address, self.border.address)
+
+    def subnet_key(self) -> Tuple[Prefix, Prefix]:
+        """Identity at /24 granularity."""
+        return (self.peer.subnet24(), self.border.subnet24())
+
+    def fqdn_key(self) -> Tuple[str, str]:
+        """Identity at router-FQDN granularity (the aggregated case)."""
+        return (self.peer.router(), self.border.router())
+
+
+@dataclass(frozen=True)
+class TracerouteResult:
+    """A complete or truncated traceroute."""
+
+    source_asn: int
+    target: int
+    hops: Tuple[Hop, ...]
+    complete: bool
+
+    def last_hop(self) -> Optional[LastHop]:
+        """The (peer, border-router) pair, when the trace completed.
+
+        The final hop is the destination itself; the two before it are the
+        target network's border router and the peer AS's border router.
+        """
+        if not self.complete or len(self.hops) < 3:
+            return None
+        return LastHop(peer=self.hops[-3], border=self.hops[-2])
+
+    def render(self) -> str:
+        """Classic traceroute text output."""
+        lines = [
+            f"traceroute to {format_ipv4(self.target)}"
+            f" ({format_ipv4(self.target)}), 30 hops max, 40 byte packets"
+        ]
+        for hop in self.hops:
+            lines.append(
+                f" {hop.ttl:2d}  {hop.fqdn} ({format_ipv4(hop.address)})"
+                f"  {hop.rtt_ms:.3f} ms"
+            )
+        if not self.complete:
+            next_ttl = (self.hops[-1].ttl + 1) if self.hops else 1
+            lines.append(f" {next_ttl:2d}  * * *")
+        return "\n".join(lines) + "\n"
+
+
+class TracerouteSimulator:
+    """Issues simulated traceroutes over a (possibly churning) topology."""
+
+    def __init__(
+        self,
+        topology: ASTopology,
+        *,
+        rng: SeededRng,
+        loss_probability: float = 0.03,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise RoutingError("loss probability must be in [0, 1)")
+        self.topology = topology
+        self._rng = rng.fork("traceroute")
+        self.loss_probability = loss_probability
+        # Best paths are invariant between policy events; cache per origin
+        # keyed on the topology's policy epoch.
+        self._route_cache: dict = {}
+        self._route_epoch = -1
+
+    def trace(self, source_asn: int, target_address: int) -> TracerouteResult:
+        """One traceroute from a vantage AS to a target address."""
+        if source_asn not in self.topology.nodes:
+            raise RoutingError(f"source AS {source_asn} not in topology")
+        located = self.topology.origin_of(target_address)
+        if located is None:
+            raise NoRouteError(
+                f"no AS originates {format_ipv4(target_address)}"
+            )
+        origin_asn, _prefix = located
+        if origin_asn == source_asn:
+            raise RoutingError("source and target are in the same AS")
+        if self._route_epoch != self.topology.policy_epoch:
+            self._route_cache.clear()
+            self._route_epoch = self.topology.policy_epoch
+        routes = self._route_cache.get(origin_asn)
+        if routes is None:
+            routes = best_paths(self.topology, origin_asn)
+            self._route_cache[origin_asn] = routes
+        route = routes.get(source_asn)
+        if route is None:
+            raise NoRouteError(
+                f"AS {source_asn} has no route to AS {origin_asn}"
+            )
+        as_path = (source_asn,) + route.path
+        hops = self._expand(as_path, target_address)
+        complete = not self._rng.bernoulli(self.loss_probability)
+        if not complete and len(hops) > 1:
+            cut = self._rng.randint(1, len(hops) - 1)
+            hops = hops[:cut]
+        return TracerouteResult(
+            source_asn=source_asn,
+            target=target_address,
+            hops=tuple(hops),
+            complete=complete,
+        )
+
+    def _expand(self, as_path: Tuple[int, ...], target: int) -> List[Hop]:
+        hops: List[Hop] = []
+        ttl = 0
+        rtt = 0.0
+
+        def emit(address: int, fqdn: str, asn: int) -> None:
+            nonlocal ttl, rtt
+            ttl += 1
+            rtt += self._rng.uniform(0.2, 9.0)
+            hops.append(
+                Hop(ttl=ttl, address=address, fqdn=fqdn, rtt_ms=round(rtt, 3), asn=asn)
+            )
+
+        for position in range(len(as_path) - 1):
+            here, there = as_path[position], as_path[position + 1]
+            # Internal hops of the AS we are currently crossing (skip the
+            # vantage's own internals: traceroute starts at its edge).
+            if position > 0:
+                for address, fqdn in self._internal_hops(here):
+                    emit(address, fqdn, here)
+            link = self.topology.adjacency(here, there).current_link()
+            # Both border routers of the crossing respond with their
+            # interface on the *active* parallel link, so a load-share
+            # flip changes both addresses of the pair — the paper's
+            # observation that a change shows up "in either the Peer AS
+            # or the BR IP address".
+            if link.a_router.asn == here:
+                near_addr, near_router = link.a_addr, link.a_router
+                far_addr, far_router = link.b_addr, link.b_router
+            else:
+                near_addr, near_router = link.b_addr, link.b_router
+                far_addr, far_router = link.a_addr, link.a_router
+            emit(near_addr, self._fqdn_of(near_addr, near_router), here)
+            emit(far_addr, self._fqdn_of(far_addr, far_router), there)
+        # Destination answers last.
+        origin = as_path[-1]
+        emit(target, f"target.{RouterName(origin, 0).domain()}", origin)
+        return hops
+
+    def _fqdn_of(self, address: int, router: RouterName) -> str:
+        fqdn = self.topology.names.resolve(address)
+        if fqdn is None:
+            fqdn = self.topology.names.interface_fqdn(router, 0, address)
+        return fqdn
+
+    def _internal_hops(self, asn: int) -> List[Tuple[int, str]]:
+        """Internal hops for crossing ``asn`` at its current IGP epoch.
+
+        The count and the concrete routers are a hash of (asn, epoch), so
+        an IGP event reshuffles them while a quiet AS reproduces the same
+        internal path on every probe.
+        """
+        node = self.topology.nodes[asn]
+        digest = hashlib.sha256(f"{asn}:{node.igp_epoch}".encode()).digest()
+        count = 1 + digest[0] % 3
+        result = []
+        for index in range(count):
+            router_id = 10 + digest[1 + index] % 6
+            router = RouterName(asn=asn, router_id=router_id)
+            address = (
+                _INTERNAL_BASE.network
+                + ((asn % 4096) << 12)
+                + ((node.igp_epoch % 16) << 8)
+                + digest[4 + index]
+            )
+            fqdn = f"be-{digest[8 + index] % 9}-0-0.{router.fqdn_suffix()}"
+            result.append((address, fqdn))
+        return result

@@ -1,0 +1,30 @@
+"""Experimental testbed: emulation, experiment runners, metrics."""
+
+from repro.testbed.emulation import Testbed, TestbedConfig, TimedRecord
+from repro.testbed.experiments import (
+    ExperimentParams,
+    experiment_route_changes,
+    experiment_spoofed_attacks,
+    experiment_stress,
+    measure_adaptation,
+    measure_latency,
+    run_point,
+)
+from repro.testbed.metrics import RunScore, SeriesScore, mean, std
+
+__all__ = [
+    "Testbed",
+    "TestbedConfig",
+    "TimedRecord",
+    "ExperimentParams",
+    "experiment_route_changes",
+    "experiment_spoofed_attacks",
+    "experiment_stress",
+    "measure_adaptation",
+    "measure_latency",
+    "run_point",
+    "RunScore",
+    "SeriesScore",
+    "mean",
+    "std",
+]

@@ -1,0 +1,136 @@
+"""Experiment metrics: detection rate, false-positive rate, latency.
+
+The paper scores at two granularities: *launched attacks detected* (an
+attack instance counts as detected when at least one of its flows is
+flagged — the Figure 15 metric) and *normal traffic tagged as suspicious*
+(flow-level false positives — Figures 16–19).  :class:`RunScore`
+accumulates one run; :class:`SeriesScore` averages the paper's five runs
+per data point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["RunScore", "SeriesScore", "mean", "std"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 below two samples."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+@dataclass
+class RunScore:
+    """Counters for one experiment run."""
+
+    normal_flows: int = 0
+    normal_flagged: int = 0
+    attack_flows: int = 0
+    attack_flows_flagged: int = 0
+    #: attack instance id -> was any of its flows flagged
+    instances: Dict[str, bool] = field(default_factory=dict)
+    #: attack type -> (instances detected, instances launched)
+    by_type: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    latency_mean_s: float = 0.0
+    latency_max_s: float = 0.0
+    absorbed: int = 0
+
+    def note_normal(self, flagged: bool) -> None:
+        self.normal_flows += 1
+        if flagged:
+            self.normal_flagged += 1
+
+    def note_attack(self, instance: str, flagged: bool) -> None:
+        self.attack_flows += 1
+        if flagged:
+            self.attack_flows_flagged += 1
+        self.instances[instance] = self.instances.get(instance, False) or flagged
+
+    def finalize(self) -> None:
+        """Fold per-instance outcomes into the per-type table."""
+        table: Dict[str, List[int]] = {}
+        for instance, detected in self.instances.items():
+            name = instance.split("#", 1)[0]
+            entry = table.setdefault(name, [0, 0])
+            entry[1] += 1
+            if detected:
+                entry[0] += 1
+        self.by_type = {name: (d, t) for name, (d, t) in sorted(table.items())}
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of launched attack instances detected (Figure 15)."""
+        if not self.instances:
+            return 0.0
+        detected = sum(1 for flagged in self.instances.values() if flagged)
+        return detected / len(self.instances)
+
+    @property
+    def flow_detection_rate(self) -> float:
+        """Fraction of individual attack flows flagged."""
+        if not self.attack_flows:
+            return 0.0
+        return self.attack_flows_flagged / self.attack_flows
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of normal flows tagged suspicious (Figures 16-19)."""
+        if not self.normal_flows:
+            return 0.0
+        return self.normal_flagged / self.normal_flows
+
+
+@dataclass
+class SeriesScore:
+    """Aggregate of repeated runs at one parameter point."""
+
+    runs: List[RunScore] = field(default_factory=list)
+
+    def add(self, run: RunScore) -> None:
+        run.finalize()
+        self.runs.append(run)
+
+    @property
+    def detection_rate(self) -> float:
+        return mean([run.detection_rate for run in self.runs])
+
+    @property
+    def detection_rate_std(self) -> float:
+        return std([run.detection_rate for run in self.runs])
+
+    @property
+    def false_positive_rate(self) -> float:
+        return mean([run.false_positive_rate for run in self.runs])
+
+    @property
+    def false_positive_rate_std(self) -> float:
+        return std([run.false_positive_rate for run in self.runs])
+
+    @property
+    def flow_detection_rate(self) -> float:
+        return mean([run.flow_detection_rate for run in self.runs])
+
+    @property
+    def latency_mean_s(self) -> float:
+        return mean([run.latency_mean_s for run in self.runs])
+
+    def by_type(self) -> Dict[str, Tuple[int, int]]:
+        """Summed per-attack-type (detected, launched) across runs."""
+        table: Dict[str, List[int]] = {}
+        for run in self.runs:
+            for name, (detected, total) in run.by_type.items():
+                entry = table.setdefault(name, [0, 0])
+                entry[0] += detected
+                entry[1] += total
+        return {name: (d, t) for name, (d, t) in sorted(table.items())}

@@ -1,0 +1,31 @@
+"""Hypothesis validation studies (Section 3 and Figure 1)."""
+
+from repro.validation.bgp_study import (
+    BgpStudyConfig,
+    BgpStudyResult,
+    TargetSeries,
+    run_bgp_study,
+)
+from repro.validation.route_stability import (
+    StabilityConfig,
+    StabilityResult,
+    run_route_stability_study,
+)
+from repro.validation.traceroute_study import (
+    TracerouteStudyConfig,
+    TracerouteStudyResult,
+    run_traceroute_study,
+)
+
+__all__ = [
+    "BgpStudyConfig",
+    "BgpStudyResult",
+    "TargetSeries",
+    "run_bgp_study",
+    "StabilityConfig",
+    "StabilityResult",
+    "run_route_stability_study",
+    "TracerouteStudyConfig",
+    "TracerouteStudyResult",
+    "run_traceroute_study",
+]

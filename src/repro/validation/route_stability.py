@@ -1,0 +1,152 @@
+"""Route stability as a function of distance from the source (Figure 1).
+
+The paper motivates both egress filtering and InFilter with a conceptual
+curve: routes are stable near the source and near the target and volatile
+in the middle.  This study measures that curve on the simulator: repeated
+traceroutes per (site, target) pair, per-hop-position change rates,
+positions normalised to [0, 1] along the path.
+
+The mechanism that produces the shape in our substrate is the same one
+the paper argues for: ends of the path are pinned by BGP policy (stable),
+the middle is governed by transit-AS IGP selection and load-shared links
+(volatile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.routing.names import router_of_fqdn
+from repro.routing.topology import (
+    ASTopology,
+    DynamicsRates,
+    TopologyDynamics,
+    TopologyParams,
+    generate_internet,
+)
+from repro.routing.traceroute import TracerouteSimulator
+from repro.util.errors import ExperimentError
+from repro.util.rng import SeededRng
+from repro.util.timebase import HOUR, periodic
+
+__all__ = ["StabilityConfig", "StabilityResult", "run_route_stability_study"]
+
+
+@dataclass(frozen=True)
+class StabilityConfig:
+    """Study parameters."""
+
+    n_pairs: int = 12
+    period_s: float = 1 * HOUR
+    duration_s: float = 48 * HOUR
+    n_buckets: int = 10
+    seed: int = 33
+    topology: TopologyParams = TopologyParams()
+    rates: DynamicsRates = DynamicsRates()
+
+    def __post_init__(self) -> None:
+        if self.n_buckets < 3:
+            raise ExperimentError("need at least 3 position buckets")
+        if self.n_pairs < 1:
+            raise ExperimentError("need at least one (site, target) pair")
+
+
+@dataclass
+class StabilityResult:
+    """Per-position-bucket change rates."""
+
+    #: bucket index -> (changes, transitions)
+    buckets: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    n_buckets: int = 10
+
+    def change_rate(self, bucket: int) -> float:
+        changes, transitions = self.buckets.get(bucket, (0, 0))
+        return changes / transitions if transitions else 0.0
+
+    def curve(self) -> List[Tuple[float, float]]:
+        """(normalised distance from source, change rate) points."""
+        return [
+            ((bucket + 0.5) / self.n_buckets, self.change_rate(bucket))
+            for bucket in range(self.n_buckets)
+        ]
+
+    def edge_vs_middle(self) -> Tuple[float, float, float]:
+        """(first-bucket, middle, last-bucket) change rates.
+
+        Figure 1's claim is middle >> both ends.
+        """
+        middle_buckets = range(self.n_buckets // 3, 2 * self.n_buckets // 3 + 1)
+        middle_changes = sum(self.buckets.get(b, (0, 0))[0] for b in middle_buckets)
+        middle_total = sum(self.buckets.get(b, (0, 0))[1] for b in middle_buckets)
+        middle = middle_changes / middle_total if middle_total else 0.0
+        return self.change_rate(0), middle, self.change_rate(self.n_buckets - 1)
+
+
+def run_route_stability_study(
+    config: StabilityConfig = StabilityConfig(),
+    *,
+    topology: Optional[ASTopology] = None,
+) -> StabilityResult:
+    """Measure per-hop-position stability over repeated traceroutes."""
+    rng = SeededRng(config.seed, "stability-study")
+    if topology is None:
+        topology = generate_internet(config.topology, rng=rng.fork("topology"))
+    simulator = TracerouteSimulator(
+        topology, rng=rng.fork("sim"), loss_probability=0.0
+    )
+    dynamics = TopologyDynamics(topology, config.rates, rng=rng.fork("dynamics"))
+
+    originating = sorted(
+        asn for asn, node in topology.nodes.items() if node.prefixes
+    )
+    pick = rng.fork("pairs")
+    pairs: List[Tuple[int, int]] = []
+    guard = 0
+    while len(pairs) < config.n_pairs:
+        guard += 1
+        if guard > 50 * config.n_pairs:
+            raise ExperimentError("could not find enough distinct AS pairs")
+        target_asn = pick.choice(originating)
+        source_asn = pick.choice(sorted(topology.nodes))
+        if source_asn == target_asn:
+            continue
+        address = topology.nodes[target_asn].prefixes[0].nth_address(20)
+        pairs.append((source_asn, address))
+
+    result = StabilityResult(n_buckets=config.n_buckets)
+    previous: Dict[int, List[frozenset]] = {}
+    for instant in periodic(0.0, config.period_s, config.duration_s):
+        dynamics.advance_to(instant)
+        for index, (source_asn, address) in enumerate(pairs):
+            trace = simulator.trace(source_asn, address)
+            if not trace.complete or len(trace.hops) < 2:
+                continue
+            buckets = _bucketize(trace, config.n_buckets)
+            last = previous.get(index)
+            if last is not None:
+                for bucket in range(config.n_buckets):
+                    changes, transitions = result.buckets.get(bucket, (0, 0))
+                    result.buckets[bucket] = (
+                        changes + int(buckets[bucket] != last[bucket]),
+                        transitions + 1,
+                    )
+            previous[index] = buckets
+    return result
+
+
+def _bucketize(trace, n_buckets: int) -> List[frozenset]:
+    """Router identities per normalised-position bucket.
+
+    The destination hop is excluded (it never changes); comparing bucket
+    *sets* keeps the measurement meaningful when IGP churn alters the hop
+    count between samples.
+    """
+    hops = trace.hops[:-1]
+    span = max(len(hops) - 1, 1)
+    buckets: List[set] = [set() for _ in range(n_buckets)]
+    for hop_index, hop in enumerate(hops):
+        position = hop_index / span
+        bucket = min(int(position * n_buckets), n_buckets - 1)
+        buckets[bucket].add(router_of_fqdn(hop.fqdn))
+    return [frozenset(bucket) for bucket in buckets]

@@ -1,0 +1,50 @@
+"""Tests for the five-way baseline comparison harness."""
+
+import pytest
+
+from repro.baselines.comparison import BASELINE_NAMES, compare_baselines
+from repro.testbed.emulation import TestbedConfig
+from repro.testbed.experiments import ExperimentParams
+
+
+@pytest.fixture(scope="module")
+def results():
+    return compare_baselines(
+        TestbedConfig(training_flows=1000),
+        ExperimentParams(attack_volume=0.06, normal_flows_per_peer=300, runs=1),
+    )
+
+
+class TestComparison:
+    def test_all_baselines_scored(self, results):
+        assert set(results) == set(BASELINE_NAMES)
+        for series in results.values():
+            assert len(series.runs) == 1
+
+    def test_identical_traffic_across_baselines(self, results):
+        flows = {
+            name: (series.runs[0].normal_flows, series.runs[0].attack_flows)
+            for name, series in results.items()
+        }
+        assert len(set(flows.values())) == 1
+
+    def test_basic_infilter_detects_everything(self, results):
+        assert results["basic_infilter"].detection_rate == 1.0
+
+    def test_enhanced_fp_below_urpf_fp(self, results):
+        assert (
+            results["enhanced_infilter"].false_positive_rate
+            < results["urpf"].false_positive_rate
+        )
+
+    def test_signature_ids_misses_stealthy_heavy_mix(self, results):
+        # The cycled attack mix starts with the stealthy set; the IDS
+        # must do strictly worse than the enhanced InFilter on instances.
+        assert (
+            results["signature_ids"].detection_rate
+            < results["enhanced_infilter"].detection_rate
+        )
+
+    def test_urpf_detects_spoofing_but_pays_in_fp(self, results):
+        assert results["urpf"].detection_rate == 1.0
+        assert results["urpf"].false_positive_rate > 0.05

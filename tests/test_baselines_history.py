@@ -1,0 +1,106 @@
+"""Tests for the Peng-style history-based IP filter."""
+
+import pytest
+
+from repro.baselines.history_filter import HistoryFilter, HistoryFilterConfig
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix
+
+
+def record(src, ts=0):
+    return FlowRecord(
+        key=FlowKey(src_addr=src, dst_addr=1, protocol=6, input_if=0),
+        packets=1,
+        octets=40,
+        first=ts,
+        last=ts,
+    )
+
+
+KNOWN = Prefix.parse("24.0.0.0/11")
+UNKNOWN = Prefix.parse("144.0.0.0/11")
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            HistoryFilterConfig(granularity=0)
+        with pytest.raises(ConfigError):
+            HistoryFilterConfig(admission_count=0)
+        with pytest.raises(ConfigError):
+            HistoryFilterConfig(overload_flows=0)
+
+
+class TestHistory:
+    def test_learn_and_lookup(self):
+        hf = HistoryFilter()
+        hf.learn(record(KNOWN.nth_address(5)))
+        assert hf.in_history(KNOWN.nth_address(900))   # same /11 block
+        assert not hf.in_history(UNKNOWN.nth_address(5))
+
+    def test_admission_count(self):
+        config = HistoryFilterConfig(admission_count=3)
+        hf = HistoryFilter(config)
+        hf.learn(record(KNOWN.nth_address(1)))
+        hf.learn(record(KNOWN.nth_address(2)))
+        assert not hf.in_history(KNOWN.nth_address(3))
+        hf.learn(record(KNOWN.nth_address(3)))
+        assert hf.in_history(KNOWN.nth_address(4))
+
+
+class TestOverloadGate:
+    def quiet_config(self):
+        return HistoryFilterConfig(overload_flows=5, overload_window_ms=1000)
+
+    def test_everything_admitted_when_quiet(self):
+        hf = HistoryFilter(self.quiet_config())
+        # Flows spaced far apart: never overloaded, all admitted+learned.
+        for index in range(10):
+            assert not hf.is_suspect(record(UNKNOWN.nth_address(index), ts=index * 10_000))
+        assert hf.overload_activations == 0
+
+    def test_quiet_operation_learns_sources(self):
+        hf = HistoryFilter(self.quiet_config())
+        hf.is_suspect(record(KNOWN.nth_address(1), ts=0))
+        assert hf.in_history(KNOWN.nth_address(2))
+
+    def test_overload_blocks_unknown_sources(self):
+        hf = HistoryFilter(self.quiet_config())
+        hf.learn(record(KNOWN.nth_address(1)))
+        # Trip the overload gate with *known* traffic first, so the
+        # attacker's sources never get a chance to be learned...
+        for index in range(10):
+            hf.is_suspect(record(KNOWN.nth_address(index), ts=index))
+        # ...then sources outside the history are rejected.
+        verdicts = [
+            hf.is_suspect(record(UNKNOWN.nth_address(index), ts=10 + index))
+            for index in range(10)
+        ]
+        assert all(verdicts)
+        assert hf.overload_activations > 0
+
+    def test_pre_overload_ramp_learns_attacker(self):
+        # The flip side: sources that appear *before* the overload gate
+        # closes are admitted into the history — the filter can be warmed
+        # up by a patient attacker.
+        hf = HistoryFilter(self.quiet_config())
+        verdicts = [
+            hf.is_suspect(record(UNKNOWN.nth_address(index), ts=index))
+            for index in range(20)
+        ]
+        assert not any(verdicts)
+
+    def test_overload_admits_known_sources(self):
+        hf = HistoryFilter(self.quiet_config())
+        hf.learn(record(KNOWN.nth_address(1)))
+        for index in range(20):
+            assert not hf.is_suspect(record(KNOWN.nth_address(index + 2), ts=index))
+
+    def test_blind_spot_spoofed_known_space(self):
+        # The paper's criticism: spoofing an address the history has seen
+        # passes even under overload.
+        hf = HistoryFilter(self.quiet_config())
+        hf.learn(record(KNOWN.nth_address(1)))
+        spoofed = [record(KNOWN.nth_address(50 + i), ts=i) for i in range(20)]
+        assert not any(hf.is_suspect(r) for r in spoofed)

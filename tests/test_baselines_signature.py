@@ -1,0 +1,84 @@
+"""Tests for the signature-IDS baseline."""
+
+import pytest
+
+from repro.baselines.signature_ids import SignatureIDS, default_signatures
+from repro.flowgen.attacks import ATTACK_NAMES, STEALTHY_ATTACKS, generate_attack
+from repro.flowgen.dagflow import Dagflow
+from repro.flowgen.traces import synthesize_trace
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix
+from repro.util.rng import SeededRng
+
+TARGET = Prefix.parse("198.18.0.0/16")
+
+
+def records_for(attack, seed=1):
+    rng = SeededRng(seed)
+    dagflow = Dagflow(
+        "atk", target_prefix=TARGET, udp_port=9000,
+        source_blocks=[Prefix.parse("24.0.0.0/11")], rng=rng,
+    )
+    return [lr.record for lr in dagflow.replay(generate_attack(attack, rng=rng.fork("a")))]
+
+
+def normal_records(count=400, seed=2):
+    rng = SeededRng(seed)
+    dagflow = Dagflow(
+        "bg", target_prefix=TARGET, udp_port=9000,
+        source_blocks=[Prefix.parse("24.0.0.0/11")], rng=rng,
+    )
+    return [lr.record for lr in dagflow.replay(synthesize_trace(count, rng=rng.fork("t")))]
+
+
+class TestDatabase:
+    def test_library_covers_all_attacks(self):
+        assert set(default_signatures()) == set(ATTACK_NAMES)
+
+    def test_default_database_excludes_stealthy(self):
+        ids = SignatureIDS()
+        assert ids.database == frozenset(ATTACK_NAMES) - frozenset(STEALTHY_ATTACKS)
+
+    def test_publish_extends_database(self):
+        ids = SignatureIDS()
+        assert "slammer" not in ids.database
+        ids.publish("slammer")
+        assert "slammer" in ids.database
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ConfigError):
+            SignatureIDS(known_attacks=["made_up"])
+        with pytest.raises(ConfigError):
+            SignatureIDS().publish("made_up")
+
+
+class TestDetection:
+    @pytest.mark.parametrize("attack", sorted(set(ATTACK_NAMES) - set(STEALTHY_ATTACKS)))
+    def test_known_attacks_detected(self, attack):
+        ids = SignatureIDS()
+        hits = sum(ids.is_suspect(r) for r in records_for(attack))
+        assert hits > 0, attack
+
+    @pytest.mark.parametrize("attack", STEALTHY_ATTACKS)
+    def test_stealthy_attacks_missed_pre_publication(self, attack):
+        ids = SignatureIDS()
+        hits = sum(ids.is_suspect(r) for r in records_for(attack))
+        assert hits == 0, attack
+
+    @pytest.mark.parametrize("attack", STEALTHY_ATTACKS)
+    def test_stealthy_attacks_caught_after_publication(self, attack):
+        ids = SignatureIDS(known_attacks=[attack])
+        hits = sum(ids.is_suspect(r) for r in records_for(attack))
+        assert hits > 0, attack
+
+    def test_low_false_positives_on_normal_traffic(self):
+        ids = SignatureIDS(known_attacks=ATTACK_NAMES)
+        records = normal_records()
+        fp = sum(ids.is_suspect(r) for r in records)
+        assert fp / len(records) < 0.05
+
+    def test_match_counter(self):
+        ids = SignatureIDS(known_attacks=["tfn2k"])
+        for record in records_for("tfn2k"):
+            ids.is_suspect(record)
+        assert ids.matches_by_signature.get("tfn2k", 0) > 0

@@ -1,0 +1,81 @@
+"""Tests for the strict uRPF baseline."""
+
+import pytest
+
+from repro.baselines.urpf import UrpfFilter, asymmetric_fib
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.ip import Prefix, PrefixTrie
+from repro.util.rng import SeededRng
+
+BLOCK_A = Prefix.parse("24.0.0.0/11")
+BLOCK_B = Prefix.parse("144.0.0.0/11")
+
+
+def record(src, iface):
+    return FlowRecord(
+        key=FlowKey(src_addr=src, dst_addr=1, protocol=6, input_if=iface),
+        packets=1,
+        octets=40,
+        first=0,
+        last=0,
+    )
+
+
+class TestUrpfFilter:
+    def make(self):
+        urpf = UrpfFilter()
+        urpf.install(BLOCK_A, 0)
+        urpf.install(BLOCK_B, 1)
+        return urpf
+
+    def test_symmetric_traffic_passes(self):
+        urpf = self.make()
+        assert not urpf.is_suspect(record(BLOCK_A.nth_address(5), 0))
+        assert not urpf.is_suspect(record(BLOCK_B.nth_address(5), 1))
+
+    def test_wrong_interface_suspect(self):
+        urpf = self.make()
+        assert urpf.is_suspect(record(BLOCK_B.nth_address(5), 0))
+
+    def test_unrouted_source_suspect(self):
+        urpf = self.make()
+        assert urpf.is_suspect(record(Prefix.parse("203.0.113.0/24").nth_address(1), 0))
+
+    def test_egress_lookup(self):
+        urpf = self.make()
+        assert urpf.egress_for(BLOCK_A.nth_address(1)) == 0
+        assert urpf.egress_for(0) is None
+
+
+class TestAsymmetricFib:
+    def plan(self):
+        return {0: [BLOCK_A], 1: [BLOCK_B]}
+
+    def test_zero_asymmetry_matches_ingress(self):
+        fib = asymmetric_fib(self.plan(), asymmetry=0.0, rng=SeededRng(1))
+        urpf = UrpfFilter(fib)
+        assert not urpf.is_suspect(record(BLOCK_A.nth_address(1), 0))
+        assert not urpf.is_suspect(record(BLOCK_B.nth_address(1), 1))
+
+    def test_full_asymmetry_breaks_urpf_for_legit_traffic(self):
+        fib = asymmetric_fib(self.plan(), asymmetry=1.0, rng=SeededRng(1))
+        urpf = UrpfFilter(fib)
+        # All legitimate traffic now looks suspect: the Section 2 argument.
+        assert urpf.is_suspect(record(BLOCK_A.nth_address(1), 0))
+        assert urpf.is_suspect(record(BLOCK_B.nth_address(1), 1))
+
+    def test_partial_asymmetry_fraction(self):
+        blocks = list(Prefix.parse("24.0.0.0/8").subnets(15))  # 128 subnets
+        plan = {0: blocks[:64], 1: blocks[64:128]}
+        fib = asymmetric_fib(plan, asymmetry=0.25, rng=SeededRng(2))
+        urpf = UrpfFilter(fib)
+        flipped = sum(
+            urpf.is_suspect(record(block.nth_address(1), peer))
+            for peer, peer_blocks in plan.items()
+            for block in peer_blocks
+        )
+        assert 10 <= flipped <= 55  # ~32 expected of 128
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            asymmetric_fib(self.plan(), asymmetry=1.5, rng=SeededRng(1))

@@ -1,0 +1,301 @@
+"""Tests for the ``infilter`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.flowgen import SubBlockSpace, eia_allocation
+
+
+@pytest.fixture
+def plan_file(tmp_path):
+    space = SubBlockSpace()
+    plan = eia_allocation(space)
+    path = tmp_path / "plan.txt"
+    lines = ["# peer prefix"]
+    for peer, blocks in plan.items():
+        lines.extend(f"{peer} {block}" for block in blocks)
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+@pytest.fixture
+def normal_file(tmp_path):
+    path = tmp_path / "normal.bin"
+    assert main(["synth", str(path), "--flows", "400"]) == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synth", "x.bin", "--attack", "nope"])
+
+
+class TestSynth:
+    def test_normal_traffic(self, tmp_path, capsys):
+        path = tmp_path / "flows.bin"
+        assert main(["synth", str(path), "--flows", "50"]) == 0
+        assert "wrote 50 flow records" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_attack_traffic_ascii(self, tmp_path):
+        path = tmp_path / "atk.txt"
+        assert main(["synth", str(path), "--attack", "slammer", "--ascii"]) == 0
+        text = path.read_text()
+        assert text.startswith("#src_addr")
+        assert ",1434," in text
+
+    def test_deterministic_given_seed(self, tmp_path):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        main(["--seed", "77", "synth", str(a), "--flows", "30"])
+        main(["--seed", "77", "synth", str(b), "--flows", "30"])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestReport:
+    def test_grouping(self, normal_file, capsys):
+        assert main(["report", normal_file, "--group-by", "protocol"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol" in out
+        assert "400 flows" in out
+
+    def test_bad_group_field(self, normal_file, capsys):
+        with pytest.raises(ValueError):
+            main(["report", normal_file, "--group-by", "bogus"])
+
+    def test_csv_format(self, normal_file, capsys):
+        assert main(["report", normal_file, "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("dst_port,flows,")
+
+    def test_json_format(self, normal_file, capsys):
+        import json
+
+        assert main(["report", normal_file, "--format", "json", "--top", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 3
+
+
+class TestDetect:
+    def test_spoofed_attack_flagged(self, tmp_path, plan_file, normal_file, capsys):
+        attack = tmp_path / "atk.bin"
+        main(["synth", str(attack), "--attack", "tfn2k", "--spoof"])
+        assert (
+            main(
+                [
+                    "detect",
+                    str(attack),
+                    plan_file,
+                    "--training-file",
+                    normal_file,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "flagged as attacks" in out
+        assert "0 legal" in out
+        assert "trace-back" in out
+
+    def test_legal_traffic_passes(self, plan_file, normal_file, capsys):
+        assert (
+            main(["detect", normal_file, plan_file, "--training-file", normal_file])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 suspect" in out.replace("400 legal, 0 suspect", "400 legal, 0 suspect")
+        assert "400 legal" in out
+
+    def test_basic_mode_needs_no_training(self, tmp_path, plan_file, capsys):
+        attack = tmp_path / "atk.bin"
+        main(["synth", str(attack), "--attack", "slammer", "--spoof"])
+        assert main(["detect", str(attack), plan_file, "--basic"]) == 0
+        out = capsys.readouterr().out
+        assert "flagged as attacks" in out
+
+    def test_idmef_output(self, tmp_path, plan_file, capsys):
+        attack = tmp_path / "atk.bin"
+        main(["synth", str(attack), "--attack", "slammer", "--spoof"])
+        assert main(["detect", str(attack), plan_file, "--basic", "--idmef"]) == 0
+        out = capsys.readouterr().out
+        assert "<IDMEF-Message" in out
+
+    def test_bad_plan_file(self, tmp_path, normal_file, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not a plan\n")
+        assert main(["detect", normal_file, str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_plan_required_without_state(self, normal_file, capsys):
+        assert main(["detect", normal_file]) == 2
+        assert "EIA plan" in capsys.readouterr().err
+
+    def test_save_and_load_state(self, tmp_path, plan_file, normal_file, capsys):
+        state = tmp_path / "state.json"
+        attack = tmp_path / "atk.bin"
+        main(["synth", str(attack), "--attack", "slammer", "--spoof"])
+        assert (
+            main(
+                [
+                    "detect", str(attack), plan_file,
+                    "--training-file", normal_file,
+                    "--save-state", str(state),
+                ]
+            )
+            == 0
+        )
+        first_out = capsys.readouterr().out
+        assert "state saved" in first_out
+        assert (
+            main(["detect", str(attack), "--load-state", str(state)]) == 0
+        )
+        second_out = capsys.readouterr().out
+        assert "flagged as attacks" in second_out
+
+
+class TestConvert:
+    def test_binary_to_ascii_round_trip(self, tmp_path, normal_file, capsys):
+        ascii_path = tmp_path / "flows.txt"
+        binary_path = tmp_path / "back.bin"
+        assert main(["convert", normal_file, str(ascii_path), "--ascii"]) == 0
+        assert main(["convert", str(ascii_path), str(binary_path)]) == 0
+        from repro.netflow.files import read_flow_file
+
+        assert read_flow_file(normal_file) == read_flow_file(str(binary_path))
+
+
+class TestSampleExpandAggregate:
+    def test_sampling_drops_records(self, tmp_path, normal_file, capsys):
+        out = tmp_path / "sampled.bin"
+        assert (
+            main(["sample", normal_file, str(out), "--interval", "10"]) == 0
+        )
+        from repro.netflow.files import read_flow_file
+
+        assert len(read_flow_file(str(out))) < len(read_flow_file(normal_file))
+
+    def test_expand_aggregate_conserves_totals(self, tmp_path, normal_file):
+        dag = tmp_path / "trace.dag"
+        back = tmp_path / "back.bin"
+        assert main(["expand", normal_file, str(dag)]) == 0
+        assert main(["aggregate", str(dag), str(back), "--peer", "4"]) == 0
+        from repro.netflow.files import read_flow_file
+
+        original = read_flow_file(normal_file)
+        restored = read_flow_file(str(back))
+        assert sum(r.packets for r in restored) == sum(r.packets for r in original)
+        assert sum(r.octets for r in restored) == sum(r.octets for r in original)
+        assert all(r.key.input_if == 4 for r in restored)
+
+
+class TestFilter:
+    def test_filter_keeps_matching_records(self, tmp_path, normal_file, capsys):
+        out = tmp_path / "web.bin"
+        assert (
+            main(["filter", normal_file, str(out), "proto=6 dport=80"]) == 0
+        )
+        from repro.netflow.files import read_flow_file
+
+        kept = read_flow_file(str(out))
+        assert kept
+        assert all(r.key.protocol == 6 and r.key.dst_port == 80 for r in kept)
+        assert "kept" in capsys.readouterr().out
+
+    def test_negated_term(self, tmp_path, normal_file):
+        out = tmp_path / "notweb.bin"
+        assert main(["filter", normal_file, str(out), "!dport=80"]) == 0
+        from repro.netflow.files import read_flow_file
+
+        assert all(r.key.dst_port != 80 for r in read_flow_file(str(out)))
+
+    def test_bad_expression(self, tmp_path, normal_file, capsys):
+        out = tmp_path / "x.bin"
+        assert main(["filter", normal_file, str(out), "wat=1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnonymize:
+    def test_prefix_preserving_rewrite(self, tmp_path, normal_file):
+        out = tmp_path / "anon.bin"
+        assert (
+            main(["anonymize", normal_file, str(out), "--key", "sixteen-byte-key"])
+            == 0
+        )
+        from repro.netflow.files import read_flow_file
+
+        original = read_flow_file(normal_file)
+        mapped = read_flow_file(str(out))
+        assert len(mapped) == len(original)
+        assert all(
+            m.key.src_addr != o.key.src_addr for m, o in zip(mapped, original)
+        )
+        # Non-address fields untouched.
+        assert all(m.octets == o.octets for m, o in zip(mapped, original))
+
+    def test_deterministic_per_key(self, tmp_path, normal_file):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        main(["anonymize", normal_file, str(a), "--key", "sixteen-byte-key"])
+        main(["anonymize", normal_file, str(b), "--key", "sixteen-byte-key"])
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_short_key_rejected(self, tmp_path, normal_file, capsys):
+        out = tmp_path / "anon.bin"
+        assert main(["anonymize", normal_file, str(out), "--key", "short"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_traceroute_study_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "--seed",
+                    "5",
+                    "validate",
+                    "traceroute",
+                    "--sites",
+                    "3",
+                    "--targets",
+                    "3",
+                    "--duration-hours",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "raw=" in out and "fqdn=" in out
+
+    def test_stability_study_smoke(self, capsys):
+        assert (
+            main(["--seed", "5", "validate", "stability", "--duration-hours", "6"])
+            == 0
+        )
+        assert "%" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_small_point(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--flows",
+                    "200",
+                    "--training-flows",
+                    "800",
+                    "--runs",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "detection=" in out
+        assert "false_positives=" in out

@@ -1,0 +1,105 @@
+"""Tests for IDMEF alert generation and parsing."""
+
+import pytest
+
+from repro.core.alerts import AlertSink, IdmefAlert, parse_idmef
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.errors import ReproError
+from repro.util.ip import parse_ipv4
+
+
+def alert(**overrides):
+    defaults = dict(
+        ident="infilter-00000042",
+        classification="spoofed-source",
+        stage="eia",
+        source_address=parse_ipv4("144.0.0.9"),
+        target_address=parse_ipv4("198.18.0.1"),
+        target_port=80,
+        protocol=6,
+        observed_peer=0,
+        expected_peer=4,
+        detect_time_ms=123456,
+        severity="high",
+    )
+    defaults.update(overrides)
+    return IdmefAlert(**defaults)
+
+
+class TestXmlRoundTrip:
+    def test_full_round_trip(self):
+        original = alert()
+        recovered = parse_idmef(original.to_xml())
+        assert recovered == original
+
+    def test_without_expected_peer(self):
+        original = alert(expected_peer=None)
+        recovered = parse_idmef(original.to_xml())
+        assert recovered.expected_peer is None
+        assert recovered == original
+
+    def test_xml_structure(self):
+        xml = alert().to_xml()
+        assert xml.startswith("<IDMEF-Message")
+        assert 'version="1.0"' in xml
+        assert "144.0.0.9" in xml
+        assert "<DetectTime>123456</DetectTime>" in xml
+
+    def test_for_flow_constructor(self):
+        record = FlowRecord(
+            key=FlowKey(
+                src_addr=parse_ipv4("1.2.3.4"),
+                dst_addr=parse_ipv4("5.6.7.8"),
+                protocol=17,
+                dst_port=1434,
+                input_if=7,
+            ),
+            packets=1,
+            octets=404,
+            first=10,
+            last=99,
+        )
+        built = IdmefAlert.for_flow(
+            "x-1",
+            record,
+            classification="network_scan",
+            stage="scan",
+            expected_peer=2,
+            detect_time_ms=99,
+        )
+        assert built.source_address == parse_ipv4("1.2.3.4")
+        assert built.observed_peer == 7
+        assert built.target_port == 1434
+        assert built.detect_time_ms == 99
+
+
+class TestParseErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(ReproError):
+            parse_idmef("this is not xml")
+
+    def test_missing_alert_element(self):
+        with pytest.raises(ReproError):
+            parse_idmef("<IDMEF-Message version='1.0'/>")
+
+    def test_missing_addresses(self):
+        with pytest.raises(ReproError):
+            parse_idmef(
+                "<IDMEF-Message version='1.0'><Alert messageid='x'>"
+                "<Classification text='y'/></Alert></IDMEF-Message>"
+            )
+
+
+class TestAlertSink:
+    def test_consume_and_query(self):
+        sink = AlertSink()
+        sink.consume(alert())
+        sink.consume(alert(classification="network_scan"))
+        assert len(sink) == 2
+        assert len(sink.by_classification("network_scan")) == 1
+
+    def test_consume_xml(self):
+        sink = AlertSink()
+        returned = sink.consume_xml(alert().to_xml())
+        assert len(sink) == 1
+        assert returned.classification == "spoofed-source"

@@ -1,0 +1,129 @@
+"""Tests for routing-derived EIA initialisation."""
+
+import pytest
+
+from repro.core.bootstrap import eia_from_bgp, eia_from_traceroutes, remap_peers
+from repro.core.eia import BasicInFilter, EIAVerdict
+from repro.routing.bgp import RouteCollector
+from repro.routing.topology import ASNode, ASTopology, Relationship
+from repro.routing.traceroute import TracerouteSimulator
+from repro.util.errors import RoutingError
+from repro.util.ip import Prefix
+from repro.util.rng import SeededRng
+
+
+def star_topology():
+    """Target AS 100 homed to providers 1 and 2; vantages 10, 20 behind
+    them (10 via 1, 20 via 2) plus a dual-homed vantage 30."""
+    topo = ASTopology()
+    for asn, tier in ((1, 1), (2, 1), (10, 3), (20, 3), (30, 3), (100, 3)):
+        topo.add_as(ASNode(asn=asn, tier=tier))
+    topo.connect(1, 2, Relationship.PEER)
+    topo.connect(100, 1, Relationship.CUSTOMER)
+    topo.connect(100, 2, Relationship.CUSTOMER)
+    topo.connect(10, 1, Relationship.CUSTOMER)
+    topo.connect(20, 2, Relationship.CUSTOMER)
+    topo.connect(30, 1, Relationship.CUSTOMER)
+    topo.connect(30, 2, Relationship.CUSTOMER)
+    topo.nodes[100].prefixes.append(Prefix.parse("4.100.0.0/16"))
+    topo.nodes[10].prefixes.append(Prefix.parse("24.0.0.0/16"))
+    topo.nodes[20].prefixes.append(Prefix.parse("144.0.0.0/16"))
+    topo.nodes[30].prefixes.append(Prefix.parse("203.0.0.0/16"))
+    return topo
+
+
+TARGET = Prefix.parse("4.100.0.0/16").nth_address(20)
+
+
+class TestEiaFromBgp:
+    def test_sources_credited_to_their_peer(self):
+        topo = star_topology()
+        collector = RouteCollector(topo, [10, 20, 30])
+        mapping = eia_from_bgp(topo, collector, TARGET)
+        assert mapping[Prefix.parse("24.0.0.0/16")] == 1
+        assert mapping[Prefix.parse("144.0.0.0/16")] == 2
+
+    def test_feeds_basic_infilter(self):
+        topo = star_topology()
+        collector = RouteCollector(topo, [10, 20, 30])
+        mapping = eia_from_bgp(topo, collector, TARGET)
+        infilter = BasicInFilter()
+        infilter.initialize_from_ingress_map(mapping)
+        from repro.netflow.records import FlowKey, FlowRecord
+
+        ok = FlowRecord(
+            key=FlowKey(
+                src_addr=Prefix.parse("24.0.0.0/16").nth_address(7),
+                dst_addr=TARGET,
+                protocol=6,
+                input_if=1,
+            ),
+            packets=1, octets=40, first=0, last=0,
+        )
+        assert infilter.check(ok).verdict == EIAVerdict.LEGAL
+        wrong = ok.with_key(input_if=2)
+        assert infilter.check(wrong).verdict == EIAVerdict.WRONG_INGRESS
+
+    def test_unknown_target_rejected(self):
+        topo = star_topology()
+        collector = RouteCollector(topo, [10])
+        with pytest.raises(RoutingError):
+            eia_from_bgp(topo, collector, Prefix.parse("9.9.0.0/16").nth_address(1))
+
+    def test_explicit_origin_without_prefixes_rejected(self):
+        topo = star_topology()
+        collector = RouteCollector(topo, [10])
+        with pytest.raises(RoutingError):
+            eia_from_bgp(topo, collector, TARGET, origin=1)
+
+
+class TestEiaFromTraceroutes:
+    def test_vantage_prefixes_follow_last_hop(self):
+        topo = star_topology()
+        simulator = TracerouteSimulator(topo, rng=SeededRng(1), loss_probability=0.0)
+        mapping = eia_from_traceroutes(topo, simulator, TARGET, [10, 20])
+        assert mapping[Prefix.parse("24.0.0.0/16")] == 1
+        assert mapping[Prefix.parse("144.0.0.0/16")] == 2
+
+    def test_lossy_vantage_skipped(self):
+        topo = star_topology()
+        simulator = TracerouteSimulator(
+            topo, rng=SeededRng(2), loss_probability=0.999
+        )
+        mapping = eia_from_traceroutes(
+            topo, simulator, TARGET, [10], samples_per_vantage=3
+        )
+        assert Prefix.parse("24.0.0.0/16") not in mapping
+
+    def test_samples_must_be_positive(self):
+        topo = star_topology()
+        simulator = TracerouteSimulator(topo, rng=SeededRng(1))
+        with pytest.raises(RoutingError):
+            eia_from_traceroutes(
+                topo, simulator, TARGET, [10], samples_per_vantage=0
+            )
+
+    def test_agreement_between_bgp_and_traceroute_bootstrap(self):
+        topo = star_topology()
+        collector = RouteCollector(topo, [10, 20, 30])
+        simulator = TracerouteSimulator(topo, rng=SeededRng(3), loss_probability=0.0)
+        from_bgp = eia_from_bgp(topo, collector, TARGET)
+        from_tr = eia_from_traceroutes(topo, simulator, TARGET, [10, 20, 30])
+        shared = set(from_bgp) & set(from_tr)
+        assert shared
+        for prefix in shared:
+            assert from_bgp[prefix] == from_tr[prefix]
+
+
+class TestRemapPeers:
+    def test_translation(self):
+        mapping = {Prefix.parse("24.0.0.0/16"): 64500, Prefix.parse("144.0.0.0/16"): 64501}
+        remapped = remap_peers(mapping, {64500: 0, 64501: 1})
+        assert remapped == {
+            Prefix.parse("24.0.0.0/16"): 0,
+            Prefix.parse("144.0.0.0/16"): 1,
+        }
+
+    def test_unmapped_peers_dropped(self):
+        mapping = {Prefix.parse("24.0.0.0/16"): 64500}
+        assert remap_peers(mapping, {}) == {}

@@ -1,0 +1,133 @@
+"""Tests for protocol classification, cluster partition, and thresholds."""
+
+import pytest
+
+from repro.core.clusters import ClusterModel, NormalCluster, protocol_class
+from repro.core.config import NNSConfig
+from repro.netflow.records import (
+    PORT_DNS,
+    PORT_FTP,
+    PORT_HTTP,
+    PORT_SMTP,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    FlowKey,
+    FlowRecord,
+)
+from repro.util.errors import TrainingError
+from repro.util.rng import SeededRng
+
+
+def record(proto=PROTO_TCP, dport=PORT_HTTP, octets=1000, packets=10, duration=1000):
+    return FlowRecord(
+        key=FlowKey(src_addr=1, dst_addr=2, protocol=proto, dst_port=dport),
+        packets=packets,
+        octets=octets,
+        first=0,
+        last=duration,
+    )
+
+
+class TestProtocolClass:
+    @pytest.mark.parametrize(
+        "proto,dport,expected",
+        [
+            (PROTO_TCP, PORT_HTTP, "http"),
+            (PROTO_TCP, PORT_SMTP, "smtp"),
+            (PROTO_TCP, PORT_FTP, "ftp"),
+            (PROTO_TCP, 8080, "tcp"),
+            (PROTO_UDP, PORT_DNS, "dns"),
+            (PROTO_UDP, 1434, "udp"),
+            (PROTO_ICMP, 0, "icmp"),
+            (47, 0, "other"),
+        ],
+    )
+    def test_mapping(self, proto, dport, expected):
+        assert protocol_class(record(proto=proto, dport=dport)) == expected
+
+
+class TestNormalCluster:
+    def test_partition_groups_by_class(self):
+        cluster = NormalCluster()
+        cluster.extend(
+            [
+                record(),
+                record(dport=8080),
+                record(proto=PROTO_UDP, dport=PORT_DNS),
+            ]
+        )
+        groups = cluster.partition()
+        assert set(groups) == {"http", "tcp", "dns"}
+        assert len(groups["http"]) == 1
+
+    def test_len(self):
+        cluster = NormalCluster()
+        cluster.add(record())
+        assert len(cluster) == 1
+
+
+class TestClusterModel:
+    def training_records(self):
+        records = []
+        for index in range(60):
+            records.append(record(octets=900 + index * 10, packets=8 + index % 5))
+            records.append(
+                record(
+                    proto=PROTO_UDP,
+                    dport=PORT_DNS,
+                    octets=120 + index,
+                    packets=1,
+                    duration=40,
+                )
+            )
+        return records
+
+    def test_train_requires_records(self):
+        with pytest.raises(TrainingError):
+            ClusterModel.train([], NNSConfig())
+
+    def test_subclusters_match_partition(self):
+        model = ClusterModel.train(self.training_records(), NNSConfig())
+        assert set(model.subclusters) == {"http", "dns"}
+        assert model.subclusters["http"].size == 60
+
+    def test_thresholds_positive(self):
+        model = ClusterModel.train(self.training_records(), NNSConfig())
+        for name, threshold in model.thresholds().items():
+            assert threshold >= 1, name
+
+    def test_in_distribution_flow_assessed_normal(self):
+        model = ClusterModel.train(self.training_records(), NNSConfig())
+        is_normal, neighbour, name = model.assess(record(octets=1100, packets=9))
+        assert name == "http"
+        assert is_normal is True
+        assert neighbour is not None
+
+    def test_outlier_assessed_anomalous(self):
+        model = ClusterModel.train(self.training_records(), NNSConfig())
+        weird = record(octets=140_000, packets=3, duration=10)
+        is_normal, _neighbour, name = model.assess(weird)
+        assert name == "http"
+        assert is_normal is False
+
+    def test_unmodelled_class_reports_none(self):
+        model = ClusterModel.train(self.training_records(), NNSConfig())
+        is_normal, neighbour, name = model.assess(record(proto=PROTO_ICMP, dport=0))
+        assert is_normal is None
+        assert neighbour is None
+        assert name == "icmp"
+        assert not model.has_model_for(record(proto=PROTO_ICMP, dport=0))
+
+    def test_training_deterministic_given_seed(self):
+        records = self.training_records()
+        a = ClusterModel.train(records, NNSConfig(), rng=SeededRng(9))
+        b = ClusterModel.train(records, NNSConfig(), rng=SeededRng(9))
+        assert a.thresholds() == b.thresholds()
+        query = record(octets=5000, packets=40)
+        assert a.assess(query)[0] == b.assess(query)[0]
+
+    def test_single_flow_class_gets_floor_threshold(self):
+        records = self.training_records() + [record(proto=PROTO_ICMP, dport=0, octets=64, packets=1)]
+        model = ClusterModel.train(records, NNSConfig())
+        assert model.subclusters["icmp"].threshold >= 1

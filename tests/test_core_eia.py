@@ -1,0 +1,159 @@
+"""Tests for EIA sets and the Basic InFilter check + learning rule."""
+
+import pytest
+
+from repro.core.config import EIAConfig
+from repro.core.eia import BasicInFilter, EIASet, EIAVerdict
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix, parse_ipv4
+
+WEST_BLOCK = Prefix.parse("24.0.0.0/11")
+EAST_BLOCK = Prefix.parse("144.0.0.0/11")
+
+
+def record(src="24.0.0.1", peer=0):
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=parse_ipv4(src),
+            dst_addr=parse_ipv4("198.18.0.1"),
+            protocol=6,
+            dst_port=80,
+            input_if=peer,
+        ),
+        packets=1,
+        octets=100,
+        first=0,
+        last=0,
+    )
+
+
+def make_filter(**config):
+    infilter = BasicInFilter(EIAConfig(**config))
+    infilter.preload(0, [WEST_BLOCK])
+    infilter.preload(1, [EAST_BLOCK])
+    return infilter
+
+
+class TestEIASet:
+    def test_contains(self):
+        eia = EIASet(peer=0)
+        eia.add(WEST_BLOCK)
+        assert parse_ipv4("24.5.5.5") in eia
+        assert parse_ipv4("99.5.5.5") not in eia
+
+    def test_discard(self):
+        eia = EIASet(peer=0)
+        eia.add(WEST_BLOCK)
+        assert eia.discard(WEST_BLOCK)
+        assert not eia.discard(WEST_BLOCK)
+        assert len(eia) == 0
+
+
+class TestConfig:
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ConfigError):
+            EIAConfig(granularity=0)
+        with pytest.raises(ConfigError):
+            EIAConfig(granularity=40)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            EIAConfig(learning_threshold=0)
+
+
+class TestCheck:
+    def test_legal_flow(self):
+        check = make_filter().check(record("24.0.0.1", peer=0))
+        assert check.verdict == EIAVerdict.LEGAL
+        assert not check.suspect
+        assert check.expected_peer == 0
+
+    def test_wrong_ingress(self):
+        check = make_filter().check(record("144.0.0.1", peer=0))
+        assert check.verdict == EIAVerdict.WRONG_INGRESS
+        assert check.suspect
+        assert check.expected_peer == 1
+        assert check.observed_peer == 0
+
+    def test_unknown_source(self):
+        check = make_filter().check(record("203.0.113.5", peer=0))
+        assert check.verdict == EIAVerdict.UNKNOWN_SOURCE
+        assert check.expected_peer is None
+
+    def test_most_specific_block_wins(self):
+        infilter = make_filter()
+        # Peer 1 also claims a /16 inside peer 0's /11.
+        infilter.preload(1, [Prefix.parse("24.1.0.0/16")])
+        assert infilter.check(record("24.1.0.5", peer=1)).verdict == EIAVerdict.LEGAL
+        assert infilter.check(record("24.2.0.5", peer=0)).verdict == EIAVerdict.LEGAL
+
+    def test_eia_set_accessor(self):
+        infilter = make_filter()
+        assert len(infilter.eia_set(0)) == 1
+        with pytest.raises(ConfigError):
+            infilter.eia_set(99)
+
+    def test_peers_sorted(self):
+        assert make_filter().peers() == [0, 1]
+
+
+class TestInitialisation:
+    def test_from_flows(self):
+        infilter = BasicInFilter(EIAConfig(granularity=11))
+        infilter.initialize_from_flows(
+            [record("24.0.0.1", peer=0), record("144.0.0.1", peer=1)]
+        )
+        assert infilter.check(record("24.31.255.1", peer=0)).verdict == EIAVerdict.LEGAL
+        assert infilter.check(record("144.0.0.9", peer=0)).suspect
+
+    def test_from_flows_is_idempotent(self):
+        infilter = BasicInFilter(EIAConfig())
+        flows = [record("24.0.0.1", peer=0)] * 5
+        infilter.initialize_from_flows(flows)
+        assert len(infilter.eia_set(0)) == 1
+
+    def test_from_ingress_map(self):
+        infilter = BasicInFilter(EIAConfig())
+        infilter.initialize_from_ingress_map({WEST_BLOCK: 0, EAST_BLOCK: 1})
+        assert infilter.check(record("24.0.0.1", peer=0)).verdict == EIAVerdict.LEGAL
+        assert infilter.check(record("144.0.0.1", peer=1)).verdict == EIAVerdict.LEGAL
+
+
+class TestLearning:
+    def test_absorption_after_threshold(self):
+        infilter = make_filter(learning_threshold=3)
+        moved = record("144.0.0.1", peer=0)  # east block now arrives at west
+        assert not infilter.note_benign(moved)
+        assert not infilter.note_benign(moved)
+        assert infilter.note_benign(moved)  # third observation absorbs
+        assert infilter.check(moved).verdict == EIAVerdict.LEGAL
+
+    def test_absorption_moves_ownership(self):
+        infilter = make_filter(learning_threshold=1, granularity=11)
+        moved = record("144.0.0.1", peer=0)
+        assert infilter.note_benign(moved)
+        # The block now belongs to peer 0; arriving at peer 1 is suspect.
+        assert infilter.check(record("144.0.0.2", peer=1)).suspect
+
+    def test_unknown_source_absorbed_as_new_block(self):
+        infilter = make_filter(learning_threshold=2, granularity=11)
+        newcomer = record("203.0.0.1", peer=1)
+        infilter.note_benign(newcomer)
+        assert infilter.check(newcomer).verdict == EIAVerdict.UNKNOWN_SOURCE
+        infilter.note_benign(newcomer)
+        assert infilter.check(newcomer).verdict == EIAVerdict.LEGAL
+
+    def test_counts_are_per_peer_and_block(self):
+        infilter = make_filter(learning_threshold=2, granularity=11)
+        infilter.note_benign(record("144.0.0.1", peer=0))
+        # A different peer does not share the counter.
+        infilter.note_benign(record("144.0.0.1", peer=2))
+        assert infilter.check(record("144.0.0.1", peer=0)).suspect
+        assert len(infilter.pending_counts()) == 2
+
+    def test_granularity_controls_block_size(self):
+        infilter = BasicInFilter(EIAConfig(learning_threshold=1, granularity=24))
+        infilter.note_benign(record("203.0.113.5", peer=0))
+        assert infilter.check(record("203.0.113.77", peer=0)).verdict == EIAVerdict.LEGAL
+        assert infilter.check(record("203.0.114.5", peer=0)).suspect

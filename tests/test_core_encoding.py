@@ -1,0 +1,157 @@
+"""Tests for the unary flow encoding, including its metric property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FeatureSpec, NNSConfig
+from repro.core.encoding import UnaryEncoder, hamming, parity_inner_product
+from repro.netflow.records import FlowStats
+from repro.util.errors import ConfigError
+
+
+def stats(octets=1000, packets=10, duration=1000, bit_rate=8000.0, packet_rate=10.0):
+    return FlowStats(
+        octets=octets,
+        packets=packets,
+        duration_ms=duration,
+        bit_rate=bit_rate,
+        packet_rate=packet_rate,
+    )
+
+
+def default_encoder():
+    return UnaryEncoder(NNSConfig().features)
+
+
+class TestPrimitives:
+    def test_hamming(self):
+        assert hamming(0b1010, 0b0110) == 2
+        assert hamming(0, 0) == 0
+
+    def test_parity_inner_product(self):
+        assert parity_inner_product(0b1010, 0b1010) == 0  # two shared ones
+        assert parity_inner_product(0b1000, 0b1010) == 1
+
+
+class TestFeatureSpec:
+    def test_rejects_empty_range(self):
+        with pytest.raises(ConfigError):
+            FeatureSpec("x", 5.0, 5.0, 4)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ConfigError):
+            FeatureSpec("x", 0.0, 1.0, 0)
+
+
+class TestEncoder:
+    def test_dimension_is_720_by_default(self):
+        assert default_encoder().dimension == 720
+
+    def test_feature_order_enforced(self):
+        with pytest.raises(ConfigError):
+            UnaryEncoder(
+                (
+                    FeatureSpec("packets", 0, 10, 4),
+                    FeatureSpec("octets", 0, 10, 4),
+                    FeatureSpec("duration_ms", 0, 10, 4),
+                    FeatureSpec("bit_rate", 0, 10, 4),
+                    FeatureSpec("packet_rate", 0, 10, 4),
+                )
+            )
+
+    def test_paper_worked_example(self):
+        # The paper: X1=3 in [0,5] with 5 bits -> 11100; X2=6 in [0,10]
+        # with 10 bits -> 1111110000; concatenated d=15.
+        encoder = UnaryEncoder(
+            (
+                FeatureSpec("octets", 0, 5, 5),
+                FeatureSpec("packets", 0, 10, 10),
+                FeatureSpec("duration_ms", 0, 1, 1),
+                FeatureSpec("bit_rate", 0, 1, 1),
+                FeatureSpec("packet_rate", 0, 1, 1),
+            )
+        )
+        encoded = encoder.encode(stats(octets=3, packets=6, duration=0,
+                                       bit_rate=0.0, packet_rate=0.0))
+        indices = encoder.decode_indices(encoded)
+        assert indices[0] == 3
+        assert indices[1] == 6
+
+    def test_min_encodes_all_zeros_max_all_ones(self):
+        encoder = default_encoder()
+        low = encoder.encode(stats(octets=0, packets=0, duration=0,
+                                   bit_rate=0.0, packet_rate=0.0))
+        assert low == 0
+        spec = NNSConfig().features
+        high = encoder.encode(
+            stats(
+                octets=int(spec[0].high) + 1,
+                packets=int(spec[1].high) + 1,
+                duration=int(spec[2].high) + 1,
+                bit_rate=spec[3].high + 1,
+                packet_rate=spec[4].high + 1,
+            )
+        )
+        assert high == (1 << encoder.dimension) - 1
+
+    def test_clamping_above_range(self):
+        encoder = default_encoder()
+        huge = encoder.encode(stats(octets=10**12))
+        indices = encoder.decode_indices(huge)
+        assert indices[0] == NNSConfig().features[0].bits
+
+    def test_valid_unary_structure(self):
+        encoder = default_encoder()
+        encoded = encoder.encode(stats())
+        assert encoder.is_valid_unary(encoded)
+
+    def test_invalid_unary_detected(self):
+        encoder = default_encoder()
+        assert not encoder.is_valid_unary(0b10)   # gap in lane 0
+        assert not encoder.is_valid_unary(1 << encoder.dimension)
+
+    def test_monotone_in_each_feature(self):
+        encoder = default_encoder()
+        small = encoder.encode(stats(octets=100))
+        large = encoder.encode(stats(octets=100_000))
+        # Unary: the larger value's lane is a superset of the smaller's.
+        assert small & large == small
+
+    @given(
+        st.integers(min_value=0, max_value=2_000_000),
+        st.integers(min_value=0, max_value=2_000_000),
+    )
+    @settings(max_examples=60)
+    def test_hamming_equals_l1_of_interval_indices(self, a_octets, b_octets):
+        encoder = default_encoder()
+        a = encoder.encode(stats(octets=a_octets))
+        b = encoder.encode(stats(octets=b_octets))
+        ia = encoder.decode_indices(a)
+        ib = encoder.decode_indices(b)
+        l1 = sum(abs(x - y) for x, y in zip(ia, ib))
+        assert hamming(a, b) == l1
+
+    @given(
+        st.tuples(
+            st.floats(min_value=0, max_value=2e6, allow_nan=False),
+            st.floats(min_value=0, max_value=2e3, allow_nan=False),
+            st.floats(min_value=0, max_value=2e5, allow_nan=False),
+            st.floats(min_value=0, max_value=2e7, allow_nan=False),
+            st.floats(min_value=0, max_value=2e4, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60)
+    def test_every_encoding_is_valid_unary(self, values):
+        encoder = default_encoder()
+        flow = stats(
+            octets=int(values[0]),
+            packets=int(values[1]),
+            duration=int(values[2]),
+            bit_rate=values[3],
+            packet_rate=values[4],
+        )
+        assert encoder.is_valid_unary(encoder.encode(flow))
+
+    def test_max_distance(self):
+        assert default_encoder().max_distance() == 720

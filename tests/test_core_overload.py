@@ -1,0 +1,122 @@
+"""Tests for the Section 6.3.2 saturation (overload) model."""
+
+import pytest
+
+from repro.core import EnhancedInFilter, PipelineConfig, Stage, Verdict
+from repro.core.config import OverloadConfig
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix
+
+from tests.conftest import make_detector
+
+FOREIGN = Prefix.parse("144.0.0.0/11")
+
+
+def suspect(ts_ms, index=0):
+    """A flow that the EIA stage will flag (unknown foreign source)."""
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=FOREIGN.nth_address(index % 1000),
+            dst_addr=1,
+            protocol=6,
+            src_port=2000 + index % 500,
+            dst_port=80,
+            input_if=0,
+        ),
+        packets=5,
+        octets=2500,
+        first=ts_ms,
+        last=ts_ms,
+    )
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert not OverloadConfig().enabled
+        assert not PipelineConfig().overload.enabled
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            OverloadConfig(suspect_capacity_per_s=0)
+        with pytest.raises(ConfigError):
+            OverloadConfig(drop_fraction=1.5)
+        with pytest.raises(ConfigError):
+            OverloadConfig(window_ms=0)
+
+
+class TestBehaviour:
+    def make(self, eia_plan, target_prefix, capacity):
+        config = PipelineConfig(
+            overload=OverloadConfig(suspect_capacity_per_s=capacity)
+        )
+        return make_detector(eia_plan, target_prefix, config=config, seed=606)
+
+    def test_below_capacity_analysis_runs_normally(self, eia_plan, target_prefix):
+        detector = self.make(eia_plan, target_prefix, capacity=1000.0)
+        # 20 suspects over 20 seconds: 1/s, far below capacity.
+        decisions = [
+            detector.process(suspect(i * 1000, i)) for i in range(20)
+        ]
+        assert all(d.stage != Stage.OVERLOAD for d in decisions)
+        assert detector.stats.overload_dropped == 0
+        assert detector.stats.overload_flagged == 0
+
+    def test_above_capacity_degrades(self, eia_plan, target_prefix):
+        detector = self.make(eia_plan, target_prefix, capacity=10.0)
+        # 200 suspects within one second: 200/s >> 10/s.
+        decisions = [detector.process(suspect(i * 5, i)) for i in range(200)]
+        degraded = [d for d in decisions if d.stage == Stage.OVERLOAD]
+        assert degraded
+        assert detector.stats.overload_dropped > 0
+        assert detector.stats.overload_flagged > 0
+
+    def test_drop_flag_split_follows_fraction(self, eia_plan, target_prefix):
+        config = PipelineConfig(
+            overload=OverloadConfig(suspect_capacity_per_s=5.0, drop_fraction=0.2)
+        )
+        detector = make_detector(eia_plan, target_prefix, config=config, seed=607)
+        for i in range(400):
+            detector.process(suspect(i * 2, i))
+        dropped = detector.stats.overload_dropped
+        flagged = detector.stats.overload_flagged
+        assert dropped + flagged > 100
+        ratio = dropped / (dropped + flagged)
+        assert 0.1 < ratio < 0.3
+
+    def test_degraded_flags_raise_alerts(self, eia_plan, target_prefix):
+        detector = self.make(eia_plan, target_prefix, capacity=5.0)
+        for i in range(100):
+            detector.process(suspect(i, i))
+        overload_alerts = detector.alert_sink.by_classification(
+            "unanalysed-suspect"
+        )
+        assert overload_alerts
+        assert all(a.stage == Stage.OVERLOAD for a in overload_alerts)
+
+    def test_legal_traffic_never_degraded(self, eia_plan, target_prefix):
+        detector = self.make(eia_plan, target_prefix, capacity=5.0)
+        legal_src = eia_plan[0][0].nth_address(3)
+        for i in range(100):
+            record = FlowRecord(
+                key=FlowKey(
+                    src_addr=legal_src, dst_addr=1, protocol=6,
+                    dst_port=80, input_if=0,
+                ),
+                packets=1,
+                octets=100,
+                first=i,
+                last=i,
+            )
+            decision = detector.process(record)
+            assert decision.verdict == Verdict.LEGAL
+
+    def test_quiet_period_restores_analysis(self, eia_plan, target_prefix):
+        detector = self.make(eia_plan, target_prefix, capacity=10.0)
+        for i in range(100):
+            detector.process(suspect(i * 2, i))
+        assert detector.stats.overload_dropped + detector.stats.overload_flagged > 0
+        # After a long idle gap the rate estimate collapses and full
+        # analysis resumes.
+        decision = detector.process(suspect(10_000_000, 9999))
+        assert decision.stage != Stage.OVERLOAD

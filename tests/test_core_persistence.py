@@ -1,0 +1,147 @@
+"""Tests for detector save/load."""
+
+import io
+
+import pytest
+
+from repro.core import EnhancedInFilter, PipelineConfig, EIAConfig
+from repro.core.persistence import load_detector, save_detector
+from repro.flowgen import Dagflow, generate_attack, synthesize_trace
+from repro.util import Prefix, SeededRng
+from repro.util.errors import ConfigError, ReproError
+
+WEST = Prefix.parse("24.0.0.0/11")
+EAST = Prefix.parse("144.0.0.0/11")
+TARGET = Prefix.parse("198.18.0.0/16")
+
+
+def build_trained(seed=77):
+    rng = SeededRng(seed, "persist")
+    detector = EnhancedInFilter(
+        PipelineConfig(eia=EIAConfig(learning_threshold=4)), rng=rng.fork("det")
+    )
+    detector.preload_eia(0, [WEST])
+    detector.preload_eia(1, [EAST])
+    dagflow = Dagflow(
+        "t", target_prefix=TARGET, udp_port=9000,
+        source_blocks=[WEST], rng=rng.fork("df"),
+    )
+    training = [
+        lr.record.with_key(input_if=0)
+        for lr in dagflow.replay(synthesize_trace(1200, rng=rng.fork("trace")))
+    ]
+    detector.train(training)
+    return detector, training
+
+
+def probe_records(seed=78, attack="http_exploit"):
+    rng = SeededRng(seed, "probe")
+    dagflow = Dagflow(
+        "p", target_prefix=TARGET, udp_port=9000,
+        source_blocks=[EAST], rng=rng,
+    )
+    flows = synthesize_trace(80, rng=rng.fork("n")) + generate_attack(
+        attack, rng=rng.fork("a")
+    )
+    return [lr.record.with_key(input_if=0) for lr in dagflow.replay(flows)]
+
+
+class TestRoundTrip:
+    def test_identical_decisions_after_restore(self):
+        detector, training = build_trained()
+        buffer = io.StringIO()
+        save_detector(detector, buffer, training_records=training)
+        buffer.seek(0)
+        restored = load_detector(buffer)
+
+        probes = probe_records()
+        original_verdicts = [detector.process(r).verdict for r in probes]
+        restored_verdicts = [restored.process(r).verdict for r in probes]
+        assert original_verdicts == restored_verdicts
+
+    def test_thresholds_and_eia_restored(self):
+        detector, training = build_trained()
+        buffer = io.StringIO()
+        save_detector(detector, buffer, training_records=training)
+        buffer.seek(0)
+        restored = load_detector(buffer)
+        assert restored.model.thresholds() == detector.model.thresholds()
+        assert restored.infilter.peers() == [0, 1]
+        assert restored.config.eia.learning_threshold == 4
+        assert restored.infilter.expected_peer_for(EAST.nth_address(1)) == 1
+
+    def test_pending_counters_restored(self):
+        detector, training = build_trained()
+        # Accumulate two of the four benign observations for a new block.
+        newcomer = probe_records()[0].with_key(
+            src_addr=Prefix.parse("203.0.0.0/11").nth_address(1)
+        )
+        detector.infilter.note_benign(newcomer)
+        detector.infilter.note_benign(newcomer)
+        buffer = io.StringIO()
+        save_detector(detector, buffer, training_records=training)
+        buffer.seek(0)
+        restored = load_detector(buffer)
+        # Two more observations absorb on the restored detector (4 total).
+        assert not restored.infilter.note_benign(newcomer)
+        assert restored.infilter.note_benign(newcomer)
+
+    def test_alert_idents_continue(self):
+        detector, training = build_trained()
+        # Attack-only probes: benign suspects would trigger absorption at
+        # the low learning threshold and legalise the source blocks.
+        rng = SeededRng(80, "idents")
+        dagflow = Dagflow(
+            "a", target_prefix=TARGET, udp_port=9000,
+            source_blocks=[EAST], rng=rng,
+        )
+        attack = [
+            lr.record.with_key(input_if=0)
+            for lr in dagflow.replay(
+                generate_attack("http_exploit", rng=rng.fork("x"))
+            )
+        ]
+        for record in attack:
+            detector.process(record)
+        n_alerts = len(detector.alert_sink)
+        assert n_alerts > 0
+        buffer = io.StringIO()
+        save_detector(detector, buffer, training_records=training)
+        buffer.seek(0)
+        restored = load_detector(buffer)
+        decision = restored.process(probe_records(seed=79, attack="jolt")[-1])
+        assert decision.is_attack
+        # Ident numbering continues where the saved detector stopped.
+        assert int(decision.alert.ident.split("-")[1]) == n_alerts + 1
+
+    def test_file_path_round_trip(self, tmp_path):
+        detector, training = build_trained()
+        path = tmp_path / "state.json"
+        save_detector(detector, path, training_records=training)
+        restored = load_detector(path)
+        assert restored.model is not None
+
+    def test_untrained_basic_detector(self):
+        detector = EnhancedInFilter(PipelineConfig.basic(), rng=SeededRng(1))
+        detector.preload_eia(0, [WEST])
+        buffer = io.StringIO()
+        save_detector(detector, buffer)
+        buffer.seek(0)
+        restored = load_detector(buffer)
+        assert restored.model is None
+        assert not restored.config.enhanced
+
+
+class TestErrors:
+    def test_trained_detector_requires_training_records(self):
+        detector, _training = build_trained()
+        with pytest.raises(ConfigError):
+            save_detector(detector, io.StringIO())
+
+    def test_malformed_json(self):
+        with pytest.raises(ReproError):
+            load_detector(io.StringIO("not json"))
+
+    def test_unknown_format_version(self):
+        with pytest.raises(ReproError):
+            load_detector(io.StringIO('{"format": 99}'))

@@ -1,0 +1,217 @@
+"""Tests for the Enhanced InFilter pipeline orchestration."""
+
+import pytest
+
+from repro.core import (
+    EIAConfig,
+    EnhancedInFilter,
+    PipelineConfig,
+    ScanConfig,
+    Stage,
+    Verdict,
+)
+from repro.flowgen import Dagflow, generate_attack, synthesize_trace
+from repro.util import Prefix, SeededRng
+from repro.util.errors import TrainingError
+
+from tests.conftest import make_detector
+
+TARGET = Prefix.parse("198.18.0.0/16")
+
+
+def spoofed_records(eia_plan, *, into_peer=0, attack="slammer", seed=9):
+    rng = SeededRng(seed, "spoof")
+    foreign = [
+        block
+        for peer, blocks in eia_plan.items()
+        if peer != into_peer
+        for block in blocks
+    ]
+    dagflow = Dagflow(
+        "spoof", target_prefix=TARGET, udp_port=9000,
+        source_blocks=foreign, rng=rng,
+    )
+    flows = generate_attack(attack, rng=rng.fork("atk"))
+    return [lr.record.with_key(input_if=into_peer) for lr in dagflow.replay(flows)]
+
+
+def legit_records(eia_plan, peer=1, count=200, seed=10):
+    rng = SeededRng(seed, "legit")
+    dagflow = Dagflow(
+        "legit", target_prefix=TARGET, udp_port=9001,
+        source_blocks=eia_plan[peer], rng=rng,
+    )
+    trace = synthesize_trace(count, rng=rng.fork("trace"))
+    return [lr.record.with_key(input_if=peer) for lr in dagflow.replay(trace)]
+
+
+class TestBasicConfiguration:
+    def test_basic_flags_every_suspect(self, eia_plan, target_prefix):
+        detector = EnhancedInFilter(PipelineConfig.basic())
+        for peer, blocks in eia_plan.items():
+            detector.preload_eia(peer, blocks)
+        for record in spoofed_records(eia_plan):
+            decision = detector.process(record)
+            assert decision.is_attack
+            assert decision.stage == Stage.EIA
+
+    def test_basic_needs_no_training(self, eia_plan):
+        detector = EnhancedInFilter(PipelineConfig.basic())
+        for peer, blocks in eia_plan.items():
+            detector.preload_eia(peer, blocks)
+        decision = detector.process(legit_records(eia_plan)[0])
+        assert decision.verdict == Verdict.LEGAL
+
+    def test_basic_emits_alerts(self, eia_plan):
+        detector = EnhancedInFilter(PipelineConfig.basic())
+        for peer, blocks in eia_plan.items():
+            detector.preload_eia(peer, blocks)
+        records = spoofed_records(eia_plan)
+        for record in records:
+            detector.process(record)
+        assert len(detector.alert_sink) == len(records)
+        assert detector.alert_sink.alerts[0].classification == "spoofed-source"
+
+
+class TestEnhancedConfiguration:
+    def test_enhanced_requires_training_for_suspects(self, eia_plan):
+        detector = EnhancedInFilter(PipelineConfig())
+        for peer, blocks in eia_plan.items():
+            detector.preload_eia(peer, blocks)
+        # Disable scan stage contribution by sending one lone flow.
+        with pytest.raises(TrainingError):
+            detector.process(spoofed_records(eia_plan, attack="dns_exploit")[0])
+
+    def test_legal_flow_skips_analysis_even_untrained(self, eia_plan):
+        detector = EnhancedInFilter(PipelineConfig())
+        for peer, blocks in eia_plan.items():
+            detector.preload_eia(peer, blocks)
+        decision = detector.process(legit_records(eia_plan)[0])
+        assert decision.verdict == Verdict.LEGAL
+        assert decision.stage == Stage.EIA
+
+    def test_scan_stage_catches_sweep(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix)
+        decisions = [
+            detector.process(record)
+            for record in spoofed_records(eia_plan, attack="network_scan")
+        ]
+        scan_hits = [d for d in decisions if d.is_attack and d.stage == Stage.SCAN]
+        assert scan_hits
+        assert scan_hits[0].alert.classification in ("network_scan", "host_scan")
+
+    def test_nns_stage_catches_anomalous_exploit(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix)
+        decisions = [
+            detector.process(record)
+            for record in spoofed_records(eia_plan, attack="http_exploit")
+        ]
+        assert any(d.is_attack and d.stage == Stage.NNS for d in decisions)
+
+    def test_benign_suspect_cleared_by_nns(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix)
+        # Normal-looking traffic arriving via the wrong peer: suspect but
+        # most flows should be cleared as benign by the NNS stage.
+        records = legit_records(eia_plan, peer=1)
+        wrong_peer = [r.with_key(input_if=2) for r in records]
+        decisions = [detector.process(r) for r in wrong_peer]
+        benign = [d for d in decisions if d.verdict == Verdict.BENIGN]
+        assert benign
+        assert all(d.stage == Stage.NNS for d in benign)
+
+    def test_absorption_learns_route_change(self, eia_plan, target_prefix):
+        config = PipelineConfig(eia=EIAConfig(learning_threshold=3))
+        detector = make_detector(eia_plan, target_prefix, config=config)
+        block = eia_plan[1][0]
+        # Persistent benign flows from one /11 block at the wrong peer.
+        base = legit_records(eia_plan, peer=1, count=120)
+        from_block = [
+            r.with_key(
+                src_addr=block.nth_address(5 + i), input_if=2
+            )
+            for i, r in enumerate(base)
+        ]
+        absorbed = False
+        for record in from_block:
+            decision = detector.process(record)
+            absorbed = absorbed or decision.absorbed
+            if decision.verdict == Verdict.LEGAL:
+                break
+        assert absorbed
+        assert detector.stats.absorbed >= 1
+
+    def test_unmodelled_class_flagged_by_default(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix)
+        # GRE (protocol 47) has no training subcluster; the default is to
+        # treat suspects without a model as attacks.
+        from repro.netflow.records import FlowKey, FlowRecord
+        gre = FlowRecord(
+            key=FlowKey(
+                src_addr=eia_plan[1][0].nth_address(1),
+                dst_addr=target_prefix.nth_address(1),
+                protocol=47,
+                input_if=0,
+            ),
+            packets=3,
+            octets=300,
+            first=0,
+            last=10,
+        )
+        decision = detector.process(gre)
+        assert decision.is_attack
+
+    def test_unmodelled_class_passes_when_configured(self, eia_plan, target_prefix):
+        config = PipelineConfig(flag_unmodelled_classes=False)
+        detector = make_detector(eia_plan, target_prefix, config=config)
+        from repro.netflow.records import FlowKey, FlowRecord
+        gre = FlowRecord(
+            key=FlowKey(src_addr=eia_plan[1][0].nth_address(1), dst_addr=1,
+                        protocol=47, input_if=0),
+            packets=3,
+            octets=300,
+            first=0,
+            last=10,
+        )
+        decision = detector.process(gre)
+        assert decision.verdict == Verdict.BENIGN
+
+
+class TestStats:
+    def test_counters_consistent(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix)
+        records = legit_records(eia_plan) + spoofed_records(eia_plan)
+        for record in records:
+            detector.process(record)
+        stats = detector.stats
+        assert stats.processed == len(records)
+        assert stats.legal + stats.suspects == stats.processed
+        assert stats.benign + stats.attacks == stats.suspects
+        assert sum(stats.attacks_by_stage.values()) == stats.attacks
+
+    def test_latency_recorded(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix)
+        for record in legit_records(eia_plan)[:50]:
+            detector.process(record)
+        assert detector.stats.mean_latency_s > 0
+        assert detector.stats.latency_max_s >= detector.stats.mean_latency_s
+
+    def test_latency_percentiles(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix)
+        for record in legit_records(eia_plan)[:50]:
+            detector.process(record)
+        stats = detector.stats
+        p50 = stats.latency_percentile(0.5)
+        p99 = stats.latency_percentile(0.99)
+        assert 0 < p50 <= p99 <= stats.latency_max_s
+        with pytest.raises(ValueError):
+            stats.latency_percentile(1.5)
+
+    def test_latency_percentile_empty(self):
+        from repro.core.pipeline import PipelineStats
+
+        assert PipelineStats().latency_percentile(0.5) == 0.0
+
+    def test_process_all(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix)
+        decisions = detector.process_all(legit_records(eia_plan)[:20])
+        assert len(decisions) == 20

@@ -1,0 +1,117 @@
+"""Tests for the trace-back extension."""
+
+import pytest
+
+from repro.core.alerts import IdmefAlert
+from repro.core.traceback import TracebackAnalyzer
+from repro.util.ip import Prefix, parse_ipv4
+
+
+def alert(peer=0, claimed=1, victim="198.18.0.1", when=0, classification="spoofed-source"):
+    return IdmefAlert(
+        ident=f"a-{peer}-{when}",
+        classification=classification,
+        stage="eia",
+        source_address=parse_ipv4("24.0.0.1"),
+        target_address=parse_ipv4(victim),
+        target_port=80,
+        protocol=6,
+        observed_peer=peer,
+        expected_peer=claimed,
+        detect_time_ms=when,
+    )
+
+
+class TestReport:
+    def make(self):
+        analyzer = TracebackAnalyzer()
+        # Attack enters through peers 2 and 5; sources claim 8 peers.
+        for index in range(40):
+            analyzer.consume(
+                alert(
+                    peer=2 if index % 2 == 0 else 5,
+                    claimed=index % 8,
+                    when=index * 10,
+                )
+            )
+        # One stray alert at peer 7.
+        analyzer.consume(alert(peer=7, when=500))
+        return analyzer
+
+    def test_ingress_attribution(self):
+        report = self.make().report()
+        assert report.total_alerts == 41
+        assert report.by_ingress[2] == 20
+        assert report.by_ingress[5] == 20
+        assert report.by_ingress[7] == 1
+
+    def test_attack_ingresses_filters_noise(self):
+        report = self.make().report()
+        assert report.attack_ingresses(min_share=0.05) == [2, 5]
+
+    def test_spoofing_spread_vs_real_ingress(self):
+        report = self.make().report()
+        assert report.spoofing_spread() == 8
+        assert len(report.attack_ingresses()) == 2
+
+    def test_time_window(self):
+        report = self.make().report(since_ms=300)
+        assert report.total_alerts < 41
+        assert all(count > 0 for count in report.by_ingress.values())
+
+    def test_classification_filter(self):
+        analyzer = self.make()
+        analyzer.consume(alert(peer=9, classification="network_scan"))
+        report = analyzer.report(classification="network_scan")
+        assert report.total_alerts == 1
+        assert report.by_ingress == {9: 1}
+
+    def test_top_victims(self):
+        analyzer = TracebackAnalyzer()
+        for index in range(10):
+            analyzer.consume(alert(victim="198.18.0.1", when=index))
+        analyzer.consume(alert(victim="198.18.0.2"))
+        top = analyzer.report().top_victims(1)
+        assert top == [("198.18.0.1", 10)]
+
+    def test_empty_report(self):
+        report = TracebackAnalyzer().report()
+        assert report.total_alerts == 0
+        assert report.attack_ingresses() == []
+        assert report.top_victims() == []
+
+    def test_victim_prefix_report(self):
+        analyzer = TracebackAnalyzer()
+        analyzer.consume(alert(victim="198.18.0.1"))
+        analyzer.consume(alert(victim="198.18.0.77"))
+        analyzer.consume(alert(victim="198.18.5.1"))
+        by_prefix = analyzer.victim_prefix_report(24)
+        assert by_prefix[Prefix.parse("198.18.0.0/24")] == 2
+        assert by_prefix[Prefix.parse("198.18.5.0/24")] == 1
+
+    def test_summary_text(self):
+        text = self.make().report().summary()
+        assert "41 alerts" in text
+        assert "real ingress peers" in text
+
+
+class TestIntegrationWithDetector:
+    def test_traceback_from_pipeline_alerts(self, eia_plan, target_prefix):
+        from tests.conftest import make_detector
+        from repro.flowgen import Dagflow, generate_attack
+        from repro.util import SeededRng
+
+        detector = make_detector(eia_plan, target_prefix, seed=909)
+        rng = SeededRng(910)
+        foreign = [b for p, blocks in eia_plan.items() if p != 3 for b in blocks]
+        spoofer = Dagflow(
+            "spoof", target_prefix=target_prefix, udp_port=9003,
+            source_blocks=foreign, rng=rng,
+        )
+        for labelled in spoofer.replay(generate_attack("tfn2k", rng=rng.fork("a"))):
+            detector.process(labelled.record.with_key(input_if=3))
+        analyzer = TracebackAnalyzer()
+        analyzer.consume_all(detector.alert_sink.alerts)
+        report = analyzer.report()
+        assert report.attack_ingresses() == [3]
+        assert report.spoofing_spread() >= 3

@@ -1,0 +1,177 @@
+"""Tests for the Section 6.2 address plan (Tables 1-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowgen.addressing import (
+    PUBLIC_SLASH8_BLOCKS,
+    SubBlockSpace,
+    eia_allocation,
+    route_change_allocations,
+)
+from repro.util.errors import AddressError
+from repro.util.ip import Prefix
+
+
+class TestTable1:
+    def test_exactly_143_blocks(self):
+        assert len(PUBLIC_SLASH8_BLOCKS) == 143
+
+    def test_known_members_and_nonmembers(self):
+        assert 3 in PUBLIC_SLASH8_BLOCKS
+        assert 214 in PUBLIC_SLASH8_BLOCKS
+        assert 222 in PUBLIC_SLASH8_BLOCKS
+        # Reserved / unallocated blocks must be absent.
+        for absent in (0, 1, 2, 5, 7, 10, 23, 27, 31, 36, 37, 39, 41, 42,
+                       49, 50, 73, 79, 89, 127, 173, 189, 190, 197, 223, 255):
+            assert absent not in PUBLIC_SLASH8_BLOCKS, absent
+
+    def test_sorted_unique(self):
+        assert list(PUBLIC_SLASH8_BLOCKS) == sorted(set(PUBLIC_SLASH8_BLOCKS))
+
+
+class TestSubBlockSpace:
+    def test_total_defined_is_1144(self):
+        assert SubBlockSpace().total_defined == 143 * 8 == 1144
+
+    def test_default_usable_is_1000(self):
+        assert len(SubBlockSpace()) == 1000
+
+    def test_paper_notation_examples(self):
+        space = SubBlockSpace()
+        # Section 6.2: 3.0/11 is 1a, 3.32/11 is 1b, 4.64/11 is 2c,
+        # 9.0/11 is 5a, 204.224/11 is 125h.
+        assert space.by_name("1a") == Prefix.parse("3.0.0.0/11")
+        assert space.by_name("1b") == Prefix.parse("3.32.0.0/11")
+        assert space.by_name("2c") == Prefix.parse("4.64.0.0/11")
+        assert space.by_name("5a") == Prefix.parse("9.0.0.0/11")
+        assert space.by_name("125h") == Prefix.parse("204.224.0.0/11")
+
+    def test_214_example_sub_blocks(self):
+        space = SubBlockSpace(usable=1144)
+        index = PUBLIC_SLASH8_BLOCKS.index(214) * 8
+        expected = [
+            "214.0.0.0/11", "214.32.0.0/11", "214.64.0.0/11", "214.96.0.0/11",
+            "214.128.0.0/11", "214.160.0.0/11", "214.192.0.0/11", "214.224.0.0/11",
+        ]
+        got = [str(space.prefix(index + i)) for i in range(8)]
+        assert got == expected
+
+    def test_name_index_round_trip(self):
+        space = SubBlockSpace()
+        for index in (0, 97, 499, 999):
+            assert space.index_of(space.name(index)) == index
+
+    def test_usable_limit_enforced(self):
+        space = SubBlockSpace(usable=10)
+        with pytest.raises(AddressError):
+            space.prefix(10)
+        with pytest.raises(AddressError):
+            space.slice(5, 6)
+
+    def test_bad_names_rejected(self):
+        space = SubBlockSpace()
+        for bad in ("0a", "126a", "1z", "xx", "a1"):
+            with pytest.raises(AddressError):
+                space.index_of(bad)
+
+    def test_bad_usable_rejected(self):
+        with pytest.raises(AddressError):
+            SubBlockSpace(usable=0)
+        with pytest.raises(AddressError):
+            SubBlockSpace(usable=2000)
+
+    def test_blocks_disjoint(self):
+        space = SubBlockSpace()
+        seen = set()
+        for index in range(len(space)):
+            prefix = space.prefix(index)
+            assert prefix not in seen
+            seen.add(prefix)
+            assert prefix.length == 11
+
+    @given(st.integers(min_value=0, max_value=999))
+    @settings(max_examples=50)
+    def test_prefix_network_alignment(self, index):
+        prefix = SubBlockSpace().prefix(index)
+        assert prefix.network & ~prefix.mask() == 0
+        assert (prefix.network >> 24) in PUBLIC_SLASH8_BLOCKS
+
+
+class TestTable3:
+    def test_eia_allocation_shape(self, subblock_space):
+        plan = eia_allocation(subblock_space)
+        assert len(plan) == 10
+        assert all(len(blocks) == 100 for blocks in plan.values())
+
+    def test_paper_assignments(self, subblock_space):
+        plan = eia_allocation(subblock_space)
+        space = subblock_space
+        # Table 3: Peer AS1 gets 1a-13d, Peer AS2 13e-25h, AS10 113e-125h.
+        assert plan[0][0] == space.by_name("1a")
+        assert plan[0][-1] == space.by_name("13d")
+        assert plan[1][0] == space.by_name("13e")
+        assert plan[1][-1] == space.by_name("25h")
+        assert plan[9][0] == space.by_name("113e")
+        assert plan[9][-1] == space.by_name("125h")
+
+    def test_no_overlap_between_sources(self, subblock_space):
+        plan = eia_allocation(subblock_space)
+        all_blocks = [b for blocks in plan.values() for b in blocks]
+        assert len(all_blocks) == len(set(all_blocks)) == 1000
+
+    def test_rejects_oversubscription(self, subblock_space):
+        with pytest.raises(AddressError):
+            eia_allocation(subblock_space, n_sources=11, blocks_per_source=100)
+
+
+class TestTable2:
+    def test_published_allocation_1(self, subblock_space):
+        allocations = route_change_allocations(subblock_space)
+        space = subblock_space
+        table = allocations[0]
+        # Table 2, Allocation 1 (normal set head + change set).
+        assert table[0].blocks[0] == space.by_name("1a")
+        assert table[0].blocks[97] == space.by_name("13b")
+        assert set(table[0].blocks[98:]) == {space.by_name("113d"), space.by_name("125g")}
+        assert set(table[1].blocks[98:]) == {space.by_name("13c"), space.by_name("125h")}
+        assert set(table[2].blocks[98:]) == {space.by_name("13d"), space.by_name("25g")}
+        assert set(table[9].blocks[98:]) == {space.by_name("100h"), space.by_name("113c")}
+
+    def test_published_allocation_2(self, subblock_space):
+        allocations = route_change_allocations(subblock_space)
+        space = subblock_space
+        table = allocations[1]
+        assert set(table[0].blocks[98:]) == {space.by_name("100h"), space.by_name("113c")}
+        assert set(table[1].blocks[98:]) == {space.by_name("113d"), space.by_name("125g")}
+        assert set(table[2].blocks[98:]) == {space.by_name("13c"), space.by_name("125h")}
+
+    def test_every_allocation_partitions_in_play_blocks(self, subblock_space):
+        for change in (1, 2, 4, 8):
+            allocations = route_change_allocations(
+                subblock_space, change_blocks=change
+            )
+            for table in allocations:
+                blocks = [b for a in table.values() for b in a.blocks]
+                assert len(blocks) == len(set(blocks))
+                assert all(len(a.blocks) == 100 for a in table.values())
+
+    def test_change_fraction_matches_parameter(self, subblock_space):
+        plan = eia_allocation(subblock_space)
+        for change in (1, 2, 4, 8):
+            table = route_change_allocations(
+                subblock_space, change_blocks=change
+            )[0]
+            for source, allocation in table.items():
+                own = set(plan[source])
+                foreign = [b for b in allocation.blocks if b not in own]
+                assert len(foreign) == change
+
+    def test_rejects_degenerate_parameters(self, subblock_space):
+        with pytest.raises(AddressError):
+            route_change_allocations(subblock_space, change_blocks=100)
+        with pytest.raises(AddressError):
+            route_change_allocations(
+                subblock_space, n_sources=2, change_blocks=2
+            )

@@ -1,0 +1,120 @@
+"""Tests for the 12-attack catalog."""
+
+import pytest
+
+from repro.flowgen.attacks import (
+    ATTACK_NAMES,
+    STEALTHY_ATTACKS,
+    attack_catalog,
+    generate_attack,
+)
+from repro.netflow.records import (
+    PORT_DNS,
+    PORT_HTTP,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_RST,
+    TCP_SYN,
+)
+from repro.util.errors import ConfigError
+from repro.util.rng import SeededRng
+
+
+class TestCatalog:
+    def test_twelve_attacks(self):
+        assert len(ATTACK_NAMES) == 12
+
+    def test_stealthy_subset(self):
+        assert set(STEALTHY_ATTACKS) <= set(ATTACK_NAMES)
+        assert "slammer" in STEALTHY_ATTACKS
+        assert "tfn2k" not in STEALTHY_ATTACKS
+
+    def test_catalog_copy_is_safe(self):
+        catalog = attack_catalog()
+        catalog.clear()
+        assert len(attack_catalog()) == 12
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_attack("nonexistent", rng=SeededRng(1))
+
+    @pytest.mark.parametrize("name", ATTACK_NAMES)
+    def test_every_attack_generates_labelled_flows(self, name):
+        flows = generate_attack(name, rng=SeededRng(3), start_ms=1000)
+        assert flows
+        assert all(f.label == name for f in flows)
+        assert all(f.is_attack for f in flows)
+        assert all(f.start_ms >= 1000 for f in flows)
+
+    @pytest.mark.parametrize("name", ATTACK_NAMES)
+    def test_determinism(self, name):
+        a = generate_attack(name, rng=SeededRng(4))
+        b = generate_attack(name, rng=SeededRng(4))
+        assert a == b
+
+
+class TestSignatureShapes:
+    def test_slammer_is_single_udp_1434_packets(self):
+        flows = generate_attack("slammer", rng=SeededRng(5))
+        assert len(flows) >= 20
+        assert all(f.protocol == PROTO_UDP for f in flows)
+        assert all(f.dst_port == 1434 for f in flows)
+        assert all(f.packets == 1 and f.octets == 404 for f in flows)
+        # Network-scan shape: many distinct destination hosts.
+        assert len({f.dst_host for f in flows}) > 10
+
+    def test_tfn2k_is_volumetric_at_one_victim(self):
+        flows = generate_attack("tfn2k", rng=SeededRng(5))
+        assert len(flows) >= 50
+        assert len({f.dst_host for f in flows}) == 1
+        assert sum(f.packets for f in flows) > 5000
+
+    def test_host_scan_targets_many_ports_one_host(self):
+        flows = generate_attack("host_scan", rng=SeededRng(5))
+        assert len({f.dst_host for f in flows}) == 1
+        assert len({f.dst_port for f in flows}) >= 10
+        assert all(f.tcp_flags == TCP_SYN for f in flows)
+
+    def test_network_scan_targets_one_port_many_hosts(self):
+        flows = generate_attack("network_scan", rng=SeededRng(5))
+        assert len({f.dst_port for f in flows}) == 1
+        assert len({f.dst_host for f in flows}) > 10
+
+    def test_stealthy_attacks_are_low_volume(self):
+        for name in ("puke", "jolt", "teardrop", "dns_exploit"):
+            flows = generate_attack(name, rng=SeededRng(6))
+            assert len(flows) <= 5, name
+            assert all(f.packets <= 5 for f in flows), name
+
+    def test_jolt_has_huge_packets(self):
+        (flow,) = generate_attack("jolt", rng=SeededRng(7))
+        assert flow.protocol == PROTO_ICMP
+        assert flow.octets / flow.packets > 4000
+
+    def test_dns_exploit_single_oversized_datagram(self):
+        (flow,) = generate_attack("dns_exploit", rng=SeededRng(7))
+        assert flow.protocol == PROTO_UDP
+        assert flow.dst_port == PORT_DNS
+        assert flow.packets == 1
+        assert flow.octets > 1500
+
+    def test_synflood_bare_syns_at_http(self):
+        flows = generate_attack("synflood", rng=SeededRng(7))
+        assert all(f.dst_port == PORT_HTTP for f in flows)
+        assert all(f.tcp_flags == TCP_SYN for f in flows)
+
+    def test_rst_storm_extra_generator(self):
+        # rst_storm ships as an extra generator outside the paper's
+        # 12-attack catalog; callable directly.
+        from repro.flowgen.attacks import rst_storm
+
+        flows = rst_storm(SeededRng(7), 0)
+        assert "rst_storm" not in ATTACK_NAMES
+        assert all(f.tcp_flags == TCP_RST for f in flows)
+        assert len({f.dst_host for f in flows}) == 1
+
+    def test_http_exploit_is_dense(self):
+        (flow,) = generate_attack("http_exploit", rng=SeededRng(7))
+        assert flow.dst_port == PORT_HTTP
+        assert flow.octets / flow.packets > 10_000

@@ -1,0 +1,172 @@
+"""Tests for the Dagflow replay tool."""
+
+import pytest
+
+from repro.flowgen.dagflow import Dagflow
+from repro.flowgen.traces import synthesize_trace
+from repro.netflow.v5 import decode_datagram
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix
+from repro.util.rng import SeededRng
+
+TARGET = Prefix.parse("198.18.0.0/16")
+BLOCK_A = Prefix.parse("24.0.0.0/11")
+BLOCK_B = Prefix.parse("144.0.0.0/11")
+
+
+def dagflow(blocks=(BLOCK_A,), weights=None, seed=1):
+    return Dagflow(
+        "S1",
+        target_prefix=TARGET,
+        udp_port=9001,
+        source_blocks=list(blocks),
+        rng=SeededRng(seed),
+        block_weights=weights,
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_blocks(self):
+        with pytest.raises(ConfigError):
+            dagflow(blocks=())
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ConfigError):
+            Dagflow(
+                "S1", target_prefix=TARGET, udp_port=0,
+                source_blocks=[BLOCK_A], rng=SeededRng(1),
+            )
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ConfigError):
+            dagflow(blocks=(BLOCK_A, BLOCK_B), weights=[1.0])
+
+    def test_rejects_zero_weight_total(self):
+        with pytest.raises(ConfigError):
+            dagflow(blocks=(BLOCK_A,), weights=[0.0])
+
+
+class TestReplay:
+    def test_sources_stay_inside_blocks(self):
+        df = dagflow(blocks=(BLOCK_A, BLOCK_B))
+        trace = synthesize_trace(300, rng=SeededRng(2))
+        for labelled in df.replay(trace):
+            src = labelled.record.key.src_addr
+            assert BLOCK_A.contains(src) or BLOCK_B.contains(src)
+
+    def test_destinations_inside_target_prefix(self):
+        df = dagflow()
+        trace = synthesize_trace(100, rng=SeededRng(2))
+        for labelled in df.replay(trace):
+            assert TARGET.contains(labelled.record.key.dst_addr)
+
+    def test_labels_preserved(self):
+        from repro.flowgen.attacks import generate_attack
+
+        df = dagflow()
+        flows = generate_attack("slammer", rng=SeededRng(3))
+        labelled = list(df.replay(flows))
+        assert all(lr.label == "slammer" for lr in labelled)
+        assert all(lr.is_attack for lr in labelled)
+
+    def test_flow_fields_copied(self):
+        df = dagflow()
+        trace = synthesize_trace(50, rng=SeededRng(4))
+        for flow, labelled in zip(trace, df.replay(trace)):
+            record = labelled.record
+            assert record.packets == flow.packets
+            assert record.octets == flow.octets
+            assert record.first == flow.start_ms
+            assert record.last == flow.start_ms + flow.duration_ms
+            assert record.key.dst_port == flow.dst_port
+            assert record.tcp_flags == flow.tcp_flags
+
+    def test_weighted_distribution(self):
+        # The paper's example: 25% / 75% split between two subnets.
+        df = dagflow(blocks=(BLOCK_A, BLOCK_B), weights=[0.25, 0.75], seed=5)
+        trace = synthesize_trace(2000, rng=SeededRng(5))
+        in_a = sum(
+            1 for lr in df.replay(trace) if BLOCK_A.contains(lr.record.key.src_addr)
+        )
+        assert 0.18 < in_a / 2000 < 0.33
+
+    def test_set_blocks_switches_sources(self):
+        df = dagflow(blocks=(BLOCK_A,))
+        trace = synthesize_trace(50, rng=SeededRng(6))
+        first = [lr.record.key.src_addr for lr in df.replay(trace)]
+        df.set_blocks([BLOCK_B])
+        second = [lr.record.key.src_addr for lr in df.replay(trace)]
+        assert all(BLOCK_A.contains(a) for a in first)
+        assert all(BLOCK_B.contains(a) for a in second)
+
+    def test_determinism(self):
+        trace = synthesize_trace(100, rng=SeededRng(7))
+        a = [lr.record for lr in dagflow(seed=8).replay(trace)]
+        b = [lr.record for lr in dagflow(seed=8).replay(trace)]
+        assert a == b
+
+
+class TestSourcePool:
+    def test_pool_bounds_distinct_sources(self):
+        df = Dagflow(
+            "atk", target_prefix=TARGET, udp_port=9001,
+            source_blocks=[BLOCK_A, BLOCK_B], rng=SeededRng(11),
+            source_pool_size=8,
+        )
+        trace = synthesize_trace(400, rng=SeededRng(12))
+        sources = {lr.record.key.src_addr for lr in df.replay(trace)}
+        assert len(sources) <= 8
+        assert all(
+            BLOCK_A.contains(s) or BLOCK_B.contains(s) for s in sources
+        )
+
+    def test_pool_redrawn_on_set_blocks(self):
+        df = Dagflow(
+            "atk", target_prefix=TARGET, udp_port=9001,
+            source_blocks=[BLOCK_A], rng=SeededRng(11),
+            source_pool_size=4,
+        )
+        trace = synthesize_trace(50, rng=SeededRng(12))
+        first = {lr.record.key.src_addr for lr in df.replay(trace)}
+        df.set_blocks([BLOCK_B])
+        second = {lr.record.key.src_addr for lr in df.replay(trace)}
+        assert all(BLOCK_A.contains(s) for s in first)
+        assert all(BLOCK_B.contains(s) for s in second)
+
+    def test_rejects_empty_pool(self):
+        import pytest as _pytest
+
+        with _pytest.raises(Exception):
+            Dagflow(
+                "atk", target_prefix=TARGET, udp_port=9001,
+                source_blocks=[BLOCK_A], rng=SeededRng(11),
+                source_pool_size=0,
+            )
+
+    def test_no_pool_draws_widely(self):
+        df = dagflow(seed=13)
+        trace = synthesize_trace(400, rng=SeededRng(14))
+        sources = {lr.record.key.src_addr for lr in df.replay(trace)}
+        assert len(sources) > 300
+
+
+class TestExport:
+    def test_datagrams_decode(self):
+        df = dagflow()
+        trace = synthesize_trace(70, rng=SeededRng(9))
+        total = 0
+        for datagram in df.export(trace):
+            header, records = decode_datagram(datagram)
+            total += len(records)
+        assert total == 70
+
+    def test_sequence_continuity_across_calls(self):
+        df = dagflow()
+        trace = synthesize_trace(35, rng=SeededRng(10))
+        first_batch = list(df.export(trace))
+        second_batch = list(df.export(trace))
+        last_header, last_records = decode_datagram(first_batch[-1])
+        next_header, _ = decode_datagram(second_batch[0])
+        assert next_header.flow_sequence == last_header.flow_sequence + len(
+            last_records
+        )

@@ -1,0 +1,98 @@
+"""Tests for the synthetic normal-traffic generator."""
+
+import pytest
+
+from repro.flowgen.traces import DEFAULT_PROFILE, TraceFlow, synthesize_trace
+from repro.netflow.records import PORT_DNS, PORT_HTTP, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.util.errors import ConfigError
+from repro.util.rng import SeededRng
+
+
+class TestTraceFlow:
+    def test_rejects_zero_packets(self):
+        with pytest.raises(ConfigError):
+            TraceFlow(
+                start_ms=0, protocol=PROTO_UDP, src_port=1, dst_port=2,
+                packets=0, octets=100, duration_ms=0, dst_host=0,
+            )
+
+    def test_rejects_impossible_octets(self):
+        with pytest.raises(ConfigError):
+            TraceFlow(
+                start_ms=0, protocol=PROTO_UDP, src_port=1, dst_port=2,
+                packets=10, octets=100, duration_ms=0, dst_host=0,
+            )
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigError):
+            TraceFlow(
+                start_ms=0, protocol=PROTO_UDP, src_port=1, dst_port=2,
+                packets=1, octets=100, duration_ms=-1, dst_host=0,
+            )
+
+    def test_label_defaults_to_normal(self):
+        flow = TraceFlow(
+            start_ms=0, protocol=PROTO_UDP, src_port=1, dst_port=2,
+            packets=1, octets=100, duration_ms=0, dst_host=0,
+        )
+        assert not flow.is_attack
+
+
+class TestSynthesize:
+    def test_count(self):
+        trace = synthesize_trace(500, rng=SeededRng(1))
+        assert len(trace) == 500
+
+    def test_empty(self):
+        assert synthesize_trace(0, rng=SeededRng(1)) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            synthesize_trace(-1, rng=SeededRng(1))
+
+    def test_deterministic(self):
+        a = synthesize_trace(100, rng=SeededRng(5))
+        b = synthesize_trace(100, rng=SeededRng(5))
+        assert a == b
+
+    def test_start_times_nondecreasing(self):
+        trace = synthesize_trace(300, rng=SeededRng(2))
+        starts = [f.start_ms for f in trace]
+        assert starts == sorted(starts)
+
+    def test_all_flows_normal_labelled(self):
+        trace = synthesize_trace(200, rng=SeededRng(3))
+        assert all(f.label == "normal" for f in trace)
+
+    def test_protocol_mix_roughly_matches_profile(self):
+        trace = synthesize_trace(4000, rng=SeededRng(4))
+        http = sum(
+            1 for f in trace if f.protocol == PROTO_TCP and f.dst_port == PORT_HTTP
+        )
+        dns = sum(
+            1 for f in trace if f.protocol == PROTO_UDP and f.dst_port == PORT_DNS
+        )
+        icmp = sum(1 for f in trace if f.protocol == PROTO_ICMP)
+        assert 0.35 < http / len(trace) < 0.58
+        assert 0.08 < dns / len(trace) < 0.25
+        assert 0.005 < icmp / len(trace) < 0.08
+
+    def test_heavy_tail_present(self):
+        trace = synthesize_trace(4000, rng=SeededRng(6))
+        octets = sorted(f.octets for f in trace)
+        # A heavy-tailed distribution: the top flow dwarfs the median.
+        assert octets[-1] > 20 * octets[len(octets) // 2]
+
+    def test_dst_hosts_within_profile(self):
+        trace = synthesize_trace(500, rng=SeededRng(7))
+        assert all(0 <= f.dst_host < DEFAULT_PROFILE.n_hosts for f in trace)
+
+    def test_single_packet_flows_have_zero_duration(self):
+        trace = synthesize_trace(2000, rng=SeededRng(8))
+        singles = [f for f in trace if f.packets == 1]
+        assert singles
+        assert all(f.duration_ms == 0 for f in singles)
+
+    def test_start_offset(self):
+        trace = synthesize_trace(10, rng=SeededRng(9), start_ms=5000)
+        assert all(f.start_ms >= 5000 for f in trace)

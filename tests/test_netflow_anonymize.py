@@ -1,0 +1,106 @@
+"""Tests for prefix-preserving anonymization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netflow.anonymize import PrefixPreservingAnonymizer
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.errors import ConfigError
+from repro.util.ip import MAX_IPV4, parse_ipv4
+
+addresses = st.integers(min_value=0, max_value=MAX_IPV4)
+
+
+def anonymizer(key=b"a-test-key-16byte"):
+    return PrefixPreservingAnonymizer(key)
+
+
+class TestBasics:
+    def test_key_length_enforced(self):
+        with pytest.raises(ConfigError):
+            PrefixPreservingAnonymizer(b"short")
+
+    def test_deterministic_per_key(self):
+        addr = parse_ipv4("24.7.7.7")
+        assert anonymizer().anonymize(addr) == anonymizer().anonymize(addr)
+
+    def test_different_keys_differ(self):
+        addr = parse_ipv4("24.7.7.7")
+        a = PrefixPreservingAnonymizer(b"key-number-one!!").anonymize(addr)
+        b = PrefixPreservingAnonymizer(b"key-number-two!!").anonymize(addr)
+        assert a != b
+
+    def test_range_checked(self):
+        with pytest.raises(ConfigError):
+            anonymizer().anonymize(-1)
+
+    def test_record_anonymization(self):
+        record = FlowRecord(
+            key=FlowKey(
+                src_addr=parse_ipv4("24.1.2.3"),
+                dst_addr=parse_ipv4("198.18.0.1"),
+                protocol=6,
+                dst_port=80,
+            ),
+            packets=3,
+            octets=300,
+            first=0,
+            last=10,
+        )
+        anon = anonymizer().anonymize_record(record)
+        assert anon.key.src_addr != record.key.src_addr
+        assert anon.key.dst_addr != record.key.dst_addr
+        # Everything except the addresses is untouched.
+        assert anon.key.dst_port == 80
+        assert anon.packets == 3
+
+    def test_shared_prefix_length_helper(self):
+        helper = PrefixPreservingAnonymizer.shared_prefix_length
+        assert helper(0, 0) == 32
+        assert helper(0b1 << 31, 0) == 0
+        assert helper(parse_ipv4("10.0.0.0"), parse_ipv4("10.0.0.1")) == 31
+
+
+class TestPrefixPreservation:
+    @given(addresses, addresses)
+    @settings(max_examples=80)
+    def test_shared_prefix_lengths_preserved(self, a, b):
+        anon = anonymizer()
+        before = PrefixPreservingAnonymizer.shared_prefix_length(a, b)
+        after = PrefixPreservingAnonymizer.shared_prefix_length(
+            anon.anonymize(a), anon.anonymize(b)
+        )
+        assert before == after
+
+    @given(st.lists(addresses, min_size=2, max_size=30, unique=True))
+    @settings(max_examples=40)
+    def test_injective(self, addrs):
+        anon = anonymizer()
+        mapped = [anon.anonymize(a) for a in addrs]
+        assert len(set(mapped)) == len(addrs)
+
+    def test_subnet_structure_survives_for_eia(self):
+        """An anonymized trace still trains consistent EIA sets."""
+        from repro.core.eia import BasicInFilter
+        from repro.core.config import EIAConfig
+        from repro.util.ip import Prefix
+
+        anon = anonymizer()
+        block = Prefix.parse("24.32.0.0/11")
+        originals = [block.nth_address(i * 1000) for i in range(50)]
+        mapped = [anon.anonymize(a) for a in originals]
+        # All fifty mapped addresses still share one /11.
+        first_block = Prefix.from_address(mapped[0], 11)
+        assert all(first_block.contains(m) for m in mapped)
+        # And the EIA machinery treats them coherently.
+        infilter = BasicInFilter(EIAConfig(granularity=11))
+        records = [
+            FlowRecord(
+                key=FlowKey(src_addr=m, dst_addr=1, protocol=6, input_if=0),
+                packets=1, octets=40, first=0, last=0,
+            )
+            for m in mapped
+        ]
+        infilter.initialize_from_flows(records[:25])
+        assert all(not infilter.check(r).suspect for r in records[25:])

@@ -1,0 +1,152 @@
+"""Tests for the router-side flow cache and its four expiry conditions."""
+
+import pytest
+
+from repro.netflow.exporter import ExporterConfig, FlowExporter, Packet
+from repro.netflow.records import PROTO_TCP, PROTO_UDP, TCP_ACK, TCP_FIN, TCP_RST, FlowKey
+from repro.util.errors import ConfigError
+
+
+def packet(ts, *, src=1, dst=2, proto=PROTO_UDP, sport=10, dport=20, size=100, flags=0, iface=0):
+    return Packet(
+        key=FlowKey(
+            src_addr=src,
+            dst_addr=dst,
+            protocol=proto,
+            src_port=sport,
+            dst_port=dport,
+            input_if=iface,
+        ),
+        length=size,
+        timestamp_ms=ts,
+        tcp_flags=flags,
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_timeouts(self):
+        with pytest.raises(ConfigError):
+            ExporterConfig(idle_timeout_ms=0)
+        with pytest.raises(ConfigError):
+            ExporterConfig(active_timeout_ms=-5)
+
+    def test_rejects_bad_watermark(self):
+        with pytest.raises(ConfigError):
+            ExporterConfig(high_watermark=0.0)
+        with pytest.raises(ConfigError):
+            ExporterConfig(high_watermark=1.5)
+
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ConfigError):
+            ExporterConfig(cache_size=0)
+
+
+class TestAggregation:
+    def test_packets_aggregate_into_one_flow(self):
+        exporter = FlowExporter()
+        for ts in (0, 100, 200):
+            assert exporter.observe(packet(ts)) == []
+        assert exporter.cache_occupancy == 1
+        records = exporter.flush()
+        assert len(records) == 1
+        record = records[0]
+        assert record.packets == 3
+        assert record.octets == 300
+        assert (record.first, record.last) == (0, 200)
+
+    def test_distinct_keys_distinct_flows(self):
+        exporter = FlowExporter()
+        exporter.observe(packet(0, sport=1))
+        exporter.observe(packet(0, sport=2))
+        assert exporter.cache_occupancy == 2
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            packet(0, size=0)
+
+
+class TestExpiry:
+    def test_idle_timeout(self):
+        exporter = FlowExporter(ExporterConfig(idle_timeout_ms=1000))
+        exporter.observe(packet(0))
+        expired = exporter.observe(packet(2000, src=99))
+        assert len(expired) == 1
+        assert expired[0].key.src_addr == 1
+
+    def test_active_timeout_expires_busy_flow(self):
+        config = ExporterConfig(idle_timeout_ms=10_000, active_timeout_ms=5_000)
+        exporter = FlowExporter(config)
+        expired = []
+        for ts in range(0, 7000, 500):
+            expired.extend(exporter.observe(packet(ts)))
+        # The flow was never idle, yet the active timeout split it.
+        assert len(expired) == 1
+        assert expired[0].first == 0
+
+    def test_tcp_fin_expires_immediately(self):
+        exporter = FlowExporter()
+        exporter.observe(packet(0, proto=PROTO_TCP, flags=TCP_ACK))
+        expired = exporter.observe(packet(10, proto=PROTO_TCP, flags=TCP_FIN))
+        assert len(expired) == 1
+        assert expired[0].packets == 2
+        assert expired[0].tcp_flags & TCP_FIN
+        assert exporter.cache_occupancy == 0
+
+    def test_tcp_rst_expires_immediately(self):
+        exporter = FlowExporter()
+        expired = exporter.observe(packet(0, proto=PROTO_TCP, flags=TCP_RST))
+        assert len(expired) == 1
+
+    def test_udp_ignores_flag_bits(self):
+        exporter = FlowExporter()
+        assert exporter.observe(packet(0, proto=PROTO_UDP, flags=TCP_FIN)) == []
+        assert exporter.cache_occupancy == 1
+
+    def test_cache_pressure_evicts_oldest(self):
+        config = ExporterConfig(cache_size=10, high_watermark=0.5)
+        exporter = FlowExporter(config)
+        expired = []
+        for index in range(8):
+            expired.extend(exporter.observe(packet(index, sport=index + 1)))
+        assert exporter.cache_occupancy <= 5
+        assert expired  # oldest entries were force-exported
+        assert expired[0].key.src_port == 1
+
+    def test_sweep_without_traffic(self):
+        exporter = FlowExporter(ExporterConfig(idle_timeout_ms=1000))
+        exporter.observe(packet(0))
+        assert exporter.sweep(500) == []
+        swept = exporter.sweep(1500)
+        assert len(swept) == 1
+
+    def test_flush_exports_everything(self):
+        exporter = FlowExporter()
+        for index in range(5):
+            exporter.observe(packet(0, sport=index))
+        assert len(exporter.flush()) == 5
+        assert exporter.cache_occupancy == 0
+        assert exporter.flows_exported == 5
+
+
+class TestInterfaceFilter:
+    def test_only_enabled_interfaces_accounted(self):
+        exporter = FlowExporter(enabled_interfaces=[1, 2])
+        exporter.observe(packet(0, iface=1))
+        exporter.observe(packet(0, iface=3, sport=99))
+        assert exporter.cache_occupancy == 1
+
+    def test_annotate_fills_routing_fields(self):
+        exporter = FlowExporter(
+            annotate=lambda record: type(record)(
+                key=record.key,
+                packets=record.packets,
+                octets=record.octets,
+                first=record.first,
+                last=record.last,
+                src_as=64500,
+                dst_as=64501,
+            )
+        )
+        exporter.observe(packet(0))
+        record = exporter.flush()[0]
+        assert (record.src_as, record.dst_as) == (64500, 64501)

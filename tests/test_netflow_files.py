@@ -1,0 +1,152 @@
+"""Tests for flow-file persistence (binary and ASCII formats)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netflow.files import (
+    FLOW_FILE_MAGIC,
+    export_ascii,
+    import_ascii,
+    read_flow_file,
+    write_flow_file,
+)
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.util.errors import NetFlowDecodeError, NetFlowError
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+u16 = st.integers(min_value=0, max_value=2**16 - 1)
+u8 = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def flow_records(draw):
+    first = draw(u32)
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=draw(u32),
+            dst_addr=draw(u32),
+            protocol=draw(u8),
+            src_port=draw(u16),
+            dst_port=draw(u16),
+            tos=draw(u8),
+            input_if=draw(u16),
+        ),
+        packets=draw(st.integers(min_value=1, max_value=2**32 - 1)),
+        octets=draw(st.integers(min_value=1, max_value=2**32 - 1)),
+        first=first,
+        last=draw(st.integers(min_value=first, max_value=2**32 - 1)),
+        next_hop=draw(u32),
+        tcp_flags=draw(u8),
+        src_as=draw(u16),
+        dst_as=draw(u16),
+        src_mask=draw(st.integers(min_value=0, max_value=32)),
+        dst_mask=draw(st.integers(min_value=0, max_value=32)),
+        output_if=draw(u16),
+    )
+
+
+def simple(index=0):
+    return FlowRecord(
+        key=FlowKey(src_addr=index + 1, dst_addr=9, protocol=17, dst_port=53),
+        packets=1,
+        octets=100,
+        first=0,
+        last=5,
+        src_as=64500,
+    )
+
+
+class TestBinaryFormat:
+    def test_round_trip_via_path(self, tmp_path):
+        records = [simple(i) for i in range(40)]
+        path = tmp_path / "flows.bin"
+        assert write_flow_file(path, records) == 40
+        assert read_flow_file(path) == records
+
+    def test_round_trip_via_stream(self):
+        records = [simple(i) for i in range(5)]
+        buffer = io.BytesIO()
+        write_flow_file(buffer, records)
+        buffer.seek(0)
+        assert read_flow_file(buffer) == records
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        assert write_flow_file(path, []) == 0
+        assert read_flow_file(path) == []
+
+    def test_magic_checked(self, tmp_path):
+        path = tmp_path / "bogus.bin"
+        path.write_bytes(b"XXXX\x00\x00\x00\x01" + b"\x00" * 48)
+        with pytest.raises(NetFlowDecodeError):
+            read_flow_file(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "flows.bin"
+        write_flow_file(path, [simple(), simple(1)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(NetFlowDecodeError):
+            read_flow_file(path)
+
+    def test_short_header_detected(self):
+        with pytest.raises(NetFlowDecodeError):
+            read_flow_file(io.BytesIO(b"RF"))
+
+    @given(st.lists(flow_records(), max_size=25))
+    @settings(max_examples=30)
+    def test_lossless_property(self, records):
+        buffer = io.BytesIO()
+        write_flow_file(buffer, records)
+        buffer.seek(0)
+        assert read_flow_file(buffer) == records
+
+
+class TestAsciiFormat:
+    def test_round_trip(self, tmp_path):
+        records = [simple(i) for i in range(10)]
+        path = tmp_path / "flows.txt"
+        assert export_ascii(path, records) == 10
+        assert import_ascii(path) == records
+
+    def test_header_line_present(self):
+        buffer = io.StringIO()
+        export_ascii(buffer, [simple()])
+        lines = buffer.getvalue().splitlines()
+        assert lines[0].startswith("#src_addr,")
+        assert len(lines) == 2
+
+    def test_addresses_rendered_dotted(self):
+        buffer = io.StringIO()
+        export_ascii(buffer, [simple()])
+        assert "0.0.0.1,0.0.0.9" in buffer.getvalue()
+
+    def test_comments_and_blanks_skipped(self):
+        text = (
+            "#comment\n"
+            "\n"
+            "0.0.0.1,0.0.0.9,17,0,53,0,0,0,1,100,0,5,0,64500,0,0,0,0.0.0.0\n"
+        )
+        records = import_ascii(io.StringIO(text))
+        assert len(records) == 1
+        assert records[0] == simple()
+
+    def test_field_count_enforced(self):
+        with pytest.raises(NetFlowError):
+            import_ascii(io.StringIO("1,2,3\n"))
+
+    def test_bad_values_reported_with_line(self):
+        text = "0.0.0.1,0.0.0.9,17,0,53,0,0,0,NOPE,100,0,5,0,0,0,0,0,0.0.0.0\n"
+        with pytest.raises(NetFlowError, match="line 1"):
+            import_ascii(io.StringIO(text))
+
+    @given(st.lists(flow_records(), max_size=15))
+    @settings(max_examples=30)
+    def test_lossless_property(self, records):
+        buffer = io.StringIO()
+        export_ascii(buffer, records)
+        buffer.seek(0)
+        assert import_ascii(buffer) == records

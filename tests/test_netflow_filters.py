@@ -1,0 +1,112 @@
+"""Tests for composable flow filters and the filter expression language."""
+
+import pytest
+
+from repro.netflow.filters import FlowFilter, parse_filter_expression
+from repro.netflow.records import PROTO_TCP, PROTO_UDP, TCP_ACK, TCP_SYN, FlowKey, FlowRecord
+from repro.util.errors import ConfigError
+from repro.util.ip import Prefix, parse_ipv4
+
+
+def record(src="24.0.0.1", dst="198.18.0.1", proto=PROTO_TCP, sport=1000,
+           dport=80, packets=10, octets=1000, flags=0, iface=0):
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=parse_ipv4(src),
+            dst_addr=parse_ipv4(dst),
+            protocol=proto,
+            src_port=sport,
+            dst_port=dport,
+            input_if=iface,
+        ),
+        packets=packets,
+        octets=octets,
+        first=0,
+        last=0,
+        tcp_flags=flags,
+    )
+
+
+class TestConstructors:
+    def test_src_in(self):
+        f = FlowFilter.src_in(Prefix.parse("24.0.0.0/8"))
+        assert f(record(src="24.9.9.9"))
+        assert not f(record(src="25.0.0.1"))
+
+    def test_dst_in(self):
+        f = FlowFilter.dst_in(Prefix.parse("198.18.0.0/16"))
+        assert f(record())
+        assert not f(record(dst="10.0.0.1"))
+
+    def test_ports_and_proto(self):
+        assert FlowFilter.dst_port(80)(record())
+        assert not FlowFilter.dst_port(443)(record())
+        assert FlowFilter.src_port(1000)(record())
+        assert FlowFilter.protocol(PROTO_TCP)(record())
+        assert not FlowFilter.protocol(PROTO_UDP)(record())
+
+    def test_size_bounds(self):
+        assert FlowFilter.min_packets(10)(record())
+        assert not FlowFilter.min_packets(11)(record())
+        assert FlowFilter.max_packets(10)(record())
+        assert FlowFilter.min_octets(500)(record())
+
+    def test_flags(self):
+        f = FlowFilter.tcp_flags_set(TCP_SYN)
+        assert f(record(flags=TCP_SYN | TCP_ACK))
+        assert not f(record(flags=TCP_ACK))
+
+    def test_input_if(self):
+        assert FlowFilter.input_if(3)(record(iface=3))
+
+
+class TestComposition:
+    def test_and_or_not(self):
+        tcp80 = FlowFilter.protocol(PROTO_TCP) & FlowFilter.dst_port(80)
+        assert tcp80(record())
+        assert not tcp80(record(proto=PROTO_UDP))
+        either = FlowFilter.dst_port(80) | FlowFilter.dst_port(443)
+        assert either(record(dport=443))
+        assert not (~either)(record(dport=443))
+
+    def test_apply(self):
+        records = [record(dport=80), record(dport=53), record(dport=80)]
+        kept = list(FlowFilter.dst_port(80).apply(records))
+        assert len(kept) == 2
+
+    def test_description_composes(self):
+        f = ~(FlowFilter.protocol(6) & FlowFilter.dst_port(80))
+        assert "proto 6" in f.description
+        assert "not" in f.description
+
+
+class TestExpressionLanguage:
+    def test_slammer_slice(self):
+        f = parse_filter_expression("proto=17 dport=1434 dst=198.18.0.0/16")
+        assert f(record(proto=PROTO_UDP, dport=1434))
+        assert not f(record(proto=PROTO_UDP, dport=53))
+        assert not f(record(proto=PROTO_UDP, dport=1434, dst="10.0.0.1"))
+
+    def test_negation(self):
+        f = parse_filter_expression("proto=6 !dport=80")
+        assert not f(record())
+        assert f(record(dport=8080))
+
+    def test_hex_flags(self):
+        f = parse_filter_expression("flags=0x02")
+        assert f(record(flags=TCP_SYN))
+        assert not f(record(flags=TCP_ACK))
+
+    def test_packet_bounds(self):
+        f = parse_filter_expression("minpkts=5 maxpkts=20")
+        assert f(record(packets=10))
+        assert not f(record(packets=2))
+        assert not f(record(packets=50))
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "nonsense", "key=", "=value", "dport=notaport", "src=300.0.0.0/8"],
+    )
+    def test_malformed_expressions_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_filter_expression(bad)

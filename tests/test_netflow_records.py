@@ -1,0 +1,99 @@
+"""Tests for flow keys, records, and derived statistics."""
+
+import pytest
+
+from repro.netflow.records import (
+    PROTO_TCP,
+    PROTO_UDP,
+    FlowKey,
+    FlowRecord,
+    FlowStats,
+)
+
+
+def make_record(**overrides):
+    defaults = dict(
+        key=FlowKey(
+            src_addr=0x01020304,
+            dst_addr=0x05060708,
+            protocol=PROTO_TCP,
+            src_port=1234,
+            dst_port=80,
+            tos=0,
+            input_if=3,
+        ),
+        packets=10,
+        octets=5000,
+        first=1000,
+        last=3000,
+    )
+    defaults.update(overrides)
+    return FlowRecord(**defaults)
+
+
+class TestFlowKey:
+    def test_is_hashable_and_equal_by_value(self):
+        a = FlowKey(1, 2, PROTO_TCP, 10, 20)
+        b = FlowKey(1, 2, PROTO_TCP, 10, 20)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_reversed_swaps_endpoints(self):
+        key = FlowKey(1, 2, PROTO_TCP, 10, 20, tos=4, input_if=7)
+        rev = key.reversed()
+        assert (rev.src_addr, rev.dst_addr) == (2, 1)
+        assert (rev.src_port, rev.dst_port) == (20, 10)
+        assert rev.tos == 4 and rev.input_if == 7
+        assert rev.reversed() == key
+
+
+class TestFlowRecord:
+    def test_rejects_zero_packets(self):
+        with pytest.raises(ValueError):
+            make_record(packets=0)
+
+    def test_rejects_zero_octets(self):
+        with pytest.raises(ValueError):
+            make_record(octets=0)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ValueError):
+            make_record(first=2000, last=1000)
+
+    def test_duration(self):
+        assert make_record().duration_ms() == 2000
+
+    def test_with_key_changes_only_key(self):
+        record = make_record()
+        changed = record.with_key(src_addr=42, input_if=9)
+        assert changed.key.src_addr == 42
+        assert changed.key.input_if == 9
+        assert changed.key.dst_addr == record.key.dst_addr
+        assert changed.octets == record.octets
+        # The original is untouched (records are immutable).
+        assert record.key.src_addr == 0x01020304
+
+
+class TestFlowStats:
+    def test_stats_values(self):
+        stats = make_record().stats()
+        assert stats.octets == 5000
+        assert stats.packets == 10
+        assert stats.duration_ms == 2000
+        assert stats.bit_rate == pytest.approx(5000 * 8 / 2.0)
+        assert stats.packet_rate == pytest.approx(10 / 2.0)
+
+    def test_single_packet_flow_has_finite_rates(self):
+        record = make_record(packets=1, octets=404, first=500, last=500)
+        stats = record.stats()
+        assert stats.duration_ms == 0
+        # 1 ms floor: a Slammer packet still yields comparable rates.
+        assert stats.bit_rate == pytest.approx(404 * 8 * 1000)
+        assert stats.packet_rate == pytest.approx(1000)
+
+    def test_tuple_order_matches_feature_names(self):
+        stats = make_record().stats()
+        values = stats.as_tuple()
+        assert len(values) == len(FlowStats.FEATURE_NAMES)
+        assert values[FlowStats.FEATURE_NAMES.index("octets")] == 5000.0
+        assert values[FlowStats.FEATURE_NAMES.index("packet_rate")] == stats.packet_rate

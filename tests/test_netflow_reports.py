@@ -1,0 +1,141 @@
+"""Tests for flow-report style grouping and statistics."""
+
+import pytest
+
+from repro.netflow.records import PROTO_TCP, PROTO_UDP, FlowKey, FlowRecord
+from repro.netflow.reports import FLOW_GRANULARITY, FlowReport, build_report
+
+
+def record(src=1, dst=2, proto=PROTO_TCP, sport=10, dport=80, iface=0,
+           packets=10, octets=1000, first=0, last=1000, src_as=0):
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=src, dst_addr=dst, protocol=proto,
+            src_port=sport, dst_port=dport, input_if=iface,
+        ),
+        packets=packets,
+        octets=octets,
+        first=first,
+        last=last,
+        src_as=src_as,
+    )
+
+
+class TestBuildReport:
+    def test_flow_granularity_separates_flows(self):
+        records = [record(sport=1), record(sport=2), record(sport=1)]
+        report = build_report(records)
+        assert len(report.groups) == 2
+        key_fields = report.group_by
+        assert key_fields == FLOW_GRANULARITY
+
+    def test_aggregation_by_interface(self):
+        records = [record(iface=0), record(iface=0), record(iface=1)]
+        report = build_report(records, group_by=("input_if",))
+        assert report.groups[(0,)].flows == 2
+        assert report.groups[(1,)].flows == 1
+
+    def test_group_stats_sum(self):
+        records = [
+            record(octets=100, packets=2, first=0, last=500),
+            record(octets=300, packets=4, first=0, last=1500),
+        ]
+        report = build_report(records, group_by=("dst_port",))
+        stats = report.groups[(80,)]
+        assert stats.octets == 400
+        assert stats.packets == 6
+        assert stats.duration_ms == 2000
+
+    def test_rates(self):
+        report = build_report(
+            [record(octets=1000, packets=10, first=0, last=1000)],
+            group_by=("protocol",),
+        )
+        stats = report.groups[(PROTO_TCP,)]
+        assert stats.bit_rate == pytest.approx(8000.0)
+        assert stats.packet_rate == pytest.approx(10.0)
+
+    def test_group_by_source_as(self):
+        records = [record(src_as=100), record(src_as=100), record(src_as=200)]
+        report = build_report(records, group_by=("src_as",))
+        assert report.groups[(100,)].flows == 2
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            build_report([record()], group_by=("nonsense",))
+
+    def test_empty_input(self):
+        report = build_report([], group_by=("dst_port",))
+        assert report.groups == {}
+        assert report.totals().flows == 0
+
+
+class TestReportQueries:
+    def test_top_by_octets(self):
+        records = [
+            record(dport=80, octets=100),
+            record(dport=25, octets=9000),
+            record(dport=53, octets=500),
+        ]
+        report = build_report(records, group_by=("dst_port",))
+        ranked = report.top(2, key="octets")
+        assert [key for key, _ in ranked] == [(25,), (53,)]
+
+    def test_top_rejects_bad_key(self):
+        report = build_report([record()], group_by=("dst_port",))
+        with pytest.raises(ValueError):
+            report.top(1, key="bit_rate")
+
+    def test_totals(self):
+        records = [record(dport=80), record(dport=25)]
+        totals = build_report(records, group_by=("dst_port",)).totals()
+        assert totals.flows == 2
+        assert totals.octets == 2000
+
+    def test_render_contains_header_and_rows(self):
+        records = [record(src=0x01020304, dport=80)]
+        text = build_report(records, group_by=("src_addr", "dst_port")).render()
+        lines = text.splitlines()
+        assert "src_addr" in lines[0] and "bps" in lines[0]
+        assert "1.2.3.4" in lines[2]
+        assert "80" in lines[2]
+
+    def test_render_empty_report(self):
+        text = build_report([], group_by=("dst_port",)).render()
+        assert "dst_port" in text
+
+    def test_to_csv(self):
+        records = [record(dport=80, octets=100), record(dport=25, octets=900)]
+        csv = build_report(records, group_by=("dst_port",)).to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "dst_port,flows,octets,packets,duration_ms,bps,pps"
+        assert lines[1].startswith("25,1,900")  # ranked by octets
+        assert lines[2].startswith("80,1,100")
+
+    def test_to_csv_renders_addresses(self):
+        csv = build_report(
+            [record(src=0x01020304)], group_by=("src_addr",)
+        ).to_csv()
+        assert "1.2.3.4," in csv
+
+    def test_to_json(self):
+        import json
+
+        records = [record(dport=80), record(dport=80), record(dport=25)]
+        payload = json.loads(
+            build_report(records, group_by=("dst_port",)).to_json()
+        )
+        assert len(payload) == 2
+        by_port = {entry["dst_port"]: entry for entry in payload}
+        assert by_port["80"]["flows"] == 2
+        assert set(payload[0]) == {
+            "dst_port", "flows", "octets", "packets", "duration_ms", "bps", "pps",
+        }
+
+    def test_limits_apply_to_both_formats(self):
+        records = [record(dport=port) for port in (80, 25, 53)]
+        report = build_report(records, group_by=("dst_port",))
+        assert len(report.to_csv(limit=2).strip().splitlines()) == 3
+        import json
+
+        assert len(json.loads(report.to_json(limit=1))) == 1

@@ -1,0 +1,99 @@
+"""Tests for sampled-NetFlow emulation."""
+
+import pytest
+
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.netflow.sampling import sample_records, survival_probability
+from repro.util.errors import ConfigError
+from repro.util.rng import SeededRng
+
+
+def record(packets, octets=None, index=0):
+    return FlowRecord(
+        key=FlowKey(src_addr=index + 1, dst_addr=2, protocol=17, dst_port=1434),
+        packets=packets,
+        octets=octets if octets is not None else packets * 100,
+        first=0,
+        last=10,
+    )
+
+
+class TestSurvivalProbability:
+    def test_interval_one_always_survives(self):
+        assert survival_probability(1, 1) == 1.0
+
+    def test_single_packet_survival_is_one_over_n(self):
+        assert survival_probability(1, 10) == pytest.approx(0.1)
+        assert survival_probability(1, 100) == pytest.approx(0.01)
+
+    def test_large_flows_almost_always_survive(self):
+        assert survival_probability(1000, 10) > 0.999
+
+
+class TestSampleRecords:
+    def test_interval_one_is_identity(self):
+        records = [record(5, index=i) for i in range(10)]
+        out = list(sample_records(records, 1, rng=SeededRng(1)))
+        assert out == records
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigError):
+            list(sample_records([record(1)], 0, rng=SeededRng(1)))
+
+    def test_single_packet_flows_mostly_vanish(self):
+        records = [record(1, index=i) for i in range(1000)]
+        out = list(sample_records(records, 10, rng=SeededRng(2)))
+        # Expected survival ~10%.
+        assert 50 < len(out) < 180
+
+    def test_heavy_flows_survive_with_scaled_counters(self):
+        records = [record(500, index=i) for i in range(50)]
+        out = list(sample_records(records, 10, rng=SeededRng(3)))
+        assert len(out) == 50
+        for sampled, original in zip(out, records):
+            # Renormalised counters estimate the original.
+            assert 0.5 * original.packets < sampled.packets < 1.6 * original.packets
+            assert 0.5 * original.octets < sampled.octets < 1.6 * original.octets
+            assert sampled.packets % 10 == 0
+
+    def test_total_packet_estimate_unbiased(self):
+        records = [record(20, index=i) for i in range(400)]
+        out = list(sample_records(records, 4, rng=SeededRng(4)))
+        estimated = sum(r.packets for r in out)
+        true_total = sum(r.packets for r in records)
+        assert abs(estimated - true_total) / true_total < 0.1
+
+    def test_determinism(self):
+        records = [record(3, index=i) for i in range(100)]
+        a = list(sample_records(records, 5, rng=SeededRng(5)))
+        b = list(sample_records(records, 5, rng=SeededRng(5)))
+        assert a == b
+
+    def test_keys_preserved(self):
+        records = [record(100, index=i) for i in range(20)]
+        out = list(sample_records(records, 10, rng=SeededRng(6)))
+        assert [r.key for r in out] == [r.key for r in records]
+
+
+class TestDetectionUnderSampling:
+    def test_stealthy_attacks_fade_with_sampling(self, eia_plan, target_prefix):
+        """The A5 effect at unit-test scale: single-packet spoofed flows
+        disappear from sampled NetFlow, so InFilter never sees them."""
+        from repro.flowgen import Dagflow, generate_attack
+        from repro.util import SeededRng as Rng
+
+        rng = Rng(7)
+        foreign = [b for p, blocks in eia_plan.items() if p != 0 for b in blocks]
+        dagflow = Dagflow(
+            "atk", target_prefix=target_prefix, udp_port=9000,
+            source_blocks=foreign, rng=rng,
+        )
+        flows = []
+        for i in range(30):
+            flows.extend(generate_attack("slammer", rng=rng.fork(f"s{i}")))
+        records = [lr.record.with_key(input_if=0) for lr in dagflow.replay(flows)]
+        visible_full = len(records)
+        visible_sampled = len(
+            list(sample_records(records, 100, rng=rng.fork("sample")))
+        )
+        assert visible_sampled < visible_full * 0.05

@@ -1,0 +1,152 @@
+"""Tests for the NetFlow v1 wire format and version upgrading."""
+
+import pytest
+
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.netflow.v1 import (
+    MAX_V1_RECORDS,
+    V1_HEADER_LEN,
+    V1_RECORD_LEN,
+    decode_v1_datagram,
+    encode_v1_datagram,
+    upgrade_records,
+)
+from repro.util.errors import NetFlowDecodeError, NetFlowError
+
+
+def record(index=0, **overrides):
+    defaults = dict(
+        key=FlowKey(
+            src_addr=index + 1,
+            dst_addr=2,
+            protocol=6,
+            src_port=1000 + index,
+            dst_port=80,
+            tos=4,
+            input_if=3,
+        ),
+        packets=5,
+        octets=500,
+        first=100,
+        last=200,
+        next_hop=7,
+        tcp_flags=0x12,
+        output_if=9,
+    )
+    defaults.update(overrides)
+    return FlowRecord(**defaults)
+
+
+class TestV1Codec:
+    def test_sizes(self):
+        data = encode_v1_datagram([record()], sys_uptime=0, unix_secs=0)
+        assert len(data) == V1_HEADER_LEN + V1_RECORD_LEN
+
+    def test_round_trip_of_v1_fields(self):
+        original = [record(i) for i in range(5)]
+        data = encode_v1_datagram(original, sys_uptime=42, unix_secs=0)
+        sys_uptime, decoded = decode_v1_datagram(data)
+        assert sys_uptime == 42
+        assert len(decoded) == 5
+        for got, want in zip(decoded, original):
+            assert got.key == want.key
+            assert got.packets == want.packets
+            assert got.octets == want.octets
+            assert (got.first, got.last) == (want.first, want.last)
+            assert got.next_hop == want.next_hop
+            assert got.tcp_flags == want.tcp_flags
+            assert got.output_if == want.output_if
+
+    def test_v5_only_fields_dropped(self):
+        original = record(src_as=0, dst_as=0)
+        rich = FlowRecord(
+            key=original.key,
+            packets=original.packets,
+            octets=original.octets,
+            first=original.first,
+            last=original.last,
+            src_as=64500,
+            dst_as=64501,
+            src_mask=11,
+            dst_mask=16,
+        )
+        data = encode_v1_datagram([rich], sys_uptime=0, unix_secs=0)
+        _up, (decoded,) = decode_v1_datagram(data)
+        assert decoded.src_as == 0
+        assert decoded.dst_as == 0
+        assert decoded.src_mask == 0
+
+    def test_rejects_empty_and_overfull(self):
+        with pytest.raises(NetFlowError):
+            encode_v1_datagram([], sys_uptime=0, unix_secs=0)
+        with pytest.raises(NetFlowError):
+            encode_v1_datagram(
+                [record(i) for i in range(MAX_V1_RECORDS + 1)],
+                sys_uptime=0,
+                unix_secs=0,
+            )
+
+    def test_rejects_v5_datagram(self):
+        from repro.netflow.v5 import encode_datagram
+
+        data = encode_datagram(
+            [record()], sys_uptime=0, unix_secs=0, flow_sequence=0
+        )
+        with pytest.raises(NetFlowDecodeError):
+            decode_v1_datagram(data)
+
+    def test_rejects_truncation(self):
+        data = encode_v1_datagram([record(), record(1)], sys_uptime=0, unix_secs=0)
+        with pytest.raises(NetFlowDecodeError):
+            decode_v1_datagram(data[:-1])
+
+    def test_corrupt_fields_reported_as_decode_error(self):
+        data = bytearray(encode_v1_datagram([record()], sys_uptime=0, unix_secs=0))
+        # Zero the packet count: semantically invalid.
+        offset = V1_HEADER_LEN + 16
+        data[offset:offset + 4] = b"\x00\x00\x00\x00"
+        with pytest.raises(NetFlowDecodeError):
+            decode_v1_datagram(bytes(data))
+
+
+class TestUpgrade:
+    def test_oracle_fills_v5_fields(self):
+        records = [record(i) for i in range(3)]
+        upgraded = upgrade_records(
+            records,
+            origin_as_for=lambda addr: 64000 + (addr % 10),
+            mask_for=lambda addr: 11,
+        )
+        for got, want in zip(upgraded, records):
+            assert got.src_as == 64000 + (want.key.src_addr % 10)
+            assert got.dst_as == 64000 + (want.key.dst_addr % 10)
+            assert got.src_mask == 11
+            assert got.key == want.key
+
+    def test_no_oracle_is_identity(self):
+        records = [record(i) for i in range(3)]
+        assert upgrade_records(records) == records
+
+    def test_v1_feed_works_with_detector(self, eia_plan, target_prefix):
+        """A v1-only exporter's records flow into the detector unchanged."""
+        from tests.conftest import make_detector
+
+        detector = make_detector(eia_plan, target_prefix, seed=1111)
+        legal_src = eia_plan[2][0].nth_address(5)
+        v1_flow = FlowRecord(
+            key=FlowKey(
+                src_addr=legal_src,
+                dst_addr=target_prefix.nth_address(1),
+                protocol=6,
+                src_port=2000,
+                dst_port=80,
+                input_if=2,
+            ),
+            packets=5,
+            octets=500,
+            first=0,
+            last=100,
+        )
+        data = encode_v1_datagram([v1_flow], sys_uptime=0, unix_secs=0)
+        _up, (decoded,) = decode_v1_datagram(data)
+        assert detector.process(decoded).verdict == "legal"

@@ -1,0 +1,187 @@
+"""Tests for the NetFlow v5 wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netflow.records import FlowKey, FlowRecord
+from repro.netflow.v5 import (
+    HEADER_LEN,
+    MAX_RECORDS_PER_DATAGRAM,
+    RECORD_LEN,
+    datagrams_for,
+    decode_datagram,
+    encode_datagram,
+)
+from repro.util.errors import NetFlowDecodeError, NetFlowError
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+u16 = st.integers(min_value=0, max_value=2**16 - 1)
+u8 = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def flow_records(draw):
+    first = draw(u32)
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=draw(u32),
+            dst_addr=draw(u32),
+            protocol=draw(u8),
+            src_port=draw(u16),
+            dst_port=draw(u16),
+            tos=draw(u8),
+            input_if=draw(u16),
+        ),
+        packets=draw(st.integers(min_value=1, max_value=2**32 - 1)),
+        octets=draw(st.integers(min_value=1, max_value=2**32 - 1)),
+        first=first,
+        last=draw(st.integers(min_value=first, max_value=2**32 - 1)),
+        next_hop=draw(u32),
+        tcp_flags=draw(u8),
+        src_as=draw(u16),
+        dst_as=draw(u16),
+        src_mask=draw(st.integers(min_value=0, max_value=32)),
+        dst_mask=draw(st.integers(min_value=0, max_value=32)),
+        output_if=draw(u16),
+    )
+
+
+def simple_record(index=0):
+    return FlowRecord(
+        key=FlowKey(src_addr=index + 1, dst_addr=2, protocol=17, dst_port=53),
+        packets=1,
+        octets=100,
+        first=0,
+        last=0,
+    )
+
+
+class TestEncode:
+    def test_sizes(self):
+        data = encode_datagram(
+            [simple_record()], sys_uptime=0, unix_secs=0, flow_sequence=0
+        )
+        assert len(data) == HEADER_LEN + RECORD_LEN
+
+    def test_version_and_count_fields(self):
+        data = encode_datagram(
+            [simple_record(), simple_record(1)],
+            sys_uptime=0,
+            unix_secs=0,
+            flow_sequence=0,
+        )
+        assert int.from_bytes(data[0:2], "big") == 5
+        assert int.from_bytes(data[2:4], "big") == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(NetFlowError):
+            encode_datagram([], sys_uptime=0, unix_secs=0, flow_sequence=0)
+
+    def test_rejects_overfull(self):
+        records = [simple_record(i) for i in range(MAX_RECORDS_PER_DATAGRAM + 1)]
+        with pytest.raises(NetFlowError):
+            encode_datagram(records, sys_uptime=0, unix_secs=0, flow_sequence=0)
+
+
+class TestDecode:
+    def test_round_trip_header(self):
+        data = encode_datagram(
+            [simple_record()],
+            sys_uptime=123,
+            unix_secs=456,
+            flow_sequence=789,
+            engine_id=3,
+            sampling_interval=100,
+        )
+        header, records = decode_datagram(data)
+        assert header.sys_uptime == 123
+        assert header.unix_secs == 456
+        assert header.flow_sequence == 789
+        assert header.engine_id == 3
+        assert header.sampling_interval == 100
+        assert header.count == len(records) == 1
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(NetFlowDecodeError):
+            decode_datagram(b"\x00" * 10)
+
+    def test_rejects_wrong_version(self):
+        data = bytearray(
+            encode_datagram(
+                [simple_record()], sys_uptime=0, unix_secs=0, flow_sequence=0
+            )
+        )
+        data[0:2] = (9).to_bytes(2, "big")
+        with pytest.raises(NetFlowDecodeError):
+            decode_datagram(bytes(data))
+
+    def test_rejects_truncated_records(self):
+        data = encode_datagram(
+            [simple_record(), simple_record(1)],
+            sys_uptime=0,
+            unix_secs=0,
+            flow_sequence=0,
+        )
+        with pytest.raises(NetFlowDecodeError):
+            decode_datagram(data[:-1])
+
+    def test_rejects_zero_count(self):
+        data = bytearray(
+            encode_datagram(
+                [simple_record()], sys_uptime=0, unix_secs=0, flow_sequence=0
+            )
+        )
+        data[2:4] = (0).to_bytes(2, "big")
+        with pytest.raises(NetFlowDecodeError):
+            decode_datagram(bytes(data))
+
+    @given(st.lists(flow_records(), min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_record_round_trip_is_lossless(self, records):
+        data = encode_datagram(
+            records, sys_uptime=1, unix_secs=2, flow_sequence=3
+        )
+        _header, decoded = decode_datagram(data)
+        # `exporter` is transport metadata, everything else round-trips.
+        assert [r.key for r in decoded] == [r.key for r in records]
+        for got, want in zip(decoded, records):
+            assert got.packets == want.packets
+            assert got.octets == want.octets
+            assert (got.first, got.last) == (want.first, want.last)
+            assert got.next_hop == want.next_hop
+            assert got.tcp_flags == want.tcp_flags
+            assert (got.src_as, got.dst_as) == (want.src_as, want.dst_as)
+            assert (got.src_mask, got.dst_mask) == (want.src_mask, want.dst_mask)
+            assert got.output_if == want.output_if
+
+
+class TestDatagramsFor:
+    def test_packs_maximally(self):
+        records = [simple_record(i) for i in range(65)]
+        datagrams = list(
+            datagrams_for(iter(records), sys_uptime=0, unix_secs=0)
+        )
+        assert len(datagrams) == 3
+        counts = [decode_datagram(d)[0].count for d in datagrams]
+        assert counts == [30, 30, 5]
+
+    def test_sequence_accumulates(self):
+        records = [simple_record(i) for i in range(65)]
+        datagrams = list(
+            datagrams_for(iter(records), sys_uptime=0, unix_secs=0, initial_sequence=100)
+        )
+        sequences = [decode_datagram(d)[0].flow_sequence for d in datagrams]
+        assert sequences == [100, 130, 160]
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(datagrams_for(iter([]), sys_uptime=0, unix_secs=0)) == []
+
+    def test_all_records_survive(self):
+        records = [simple_record(i) for i in range(64)]
+        recovered = []
+        for datagram in datagrams_for(iter(records), sys_uptime=0, unix_secs=0):
+            recovered.extend(decode_datagram(datagram)[1])
+        assert [r.key.src_addr for r in recovered] == [
+            r.key.src_addr for r in records
+        ]

@@ -1,0 +1,94 @@
+"""One place asserting every numeric constant the paper publishes.
+
+If a refactor drifts a default away from the paper's configuration,
+this module is the tripwire.
+"""
+
+from repro.core.config import EIAConfig, NNSConfig, ScanConfig
+from repro.flowgen.addressing import PUBLIC_SLASH8_BLOCKS, SubBlockSpace
+from repro.flowgen.attacks import ATTACK_NAMES
+from repro.netflow.v5 import (
+    HEADER_LEN,
+    MAX_RECORDS_PER_DATAGRAM,
+    NETFLOW_V5_VERSION,
+    RECORD_LEN,
+)
+from repro.testbed.emulation import TestbedConfig
+
+
+class TestSection4Constants:
+    """NNS parameters (Section 4.2) and the scan buffer (Section 4.1)."""
+
+    def test_nns_dimension_is_720(self):
+        assert NNSConfig().dimension == 720
+
+    def test_nns_m_parameters(self):
+        config = NNSConfig()
+        assert config.m1 == 1
+        assert config.m2 == 12
+        assert config.m3 == 3
+
+    def test_m3_ball_size_is_79_entries(self):
+        # C(12,0) + C(12,1) + C(12,2) table entries per inserted flow.
+        from repro.core.nns import _ball_deltas
+
+        assert len(_ball_deltas(12, 3)) == 79
+
+    def test_scan_buffer_is_about_200_flows(self):
+        assert ScanConfig().buffer_size == 200
+
+    def test_five_flow_characteristics(self):
+        # Section 5.1.2: byte count, packet count, duration, bit rate,
+        # packet rate.
+        from repro.netflow.records import FlowStats
+
+        assert FlowStats.FEATURE_NAMES == (
+            "octets",
+            "packets",
+            "duration_ms",
+            "bit_rate",
+            "packet_rate",
+        )
+
+
+class TestSection5Constants:
+    """NetFlow v5 wire facts (Section 5.1.1)."""
+
+    def test_version_5(self):
+        assert NETFLOW_V5_VERSION == 5
+
+    def test_record_and_header_sizes(self):
+        assert HEADER_LEN == 24
+        assert RECORD_LEN == 48
+        assert MAX_RECORDS_PER_DATAGRAM == 30
+
+    def test_seven_flow_key_fields(self):
+        # Figure 10: src, dst, proto, sport, dport, TOS, input interface.
+        import dataclasses
+
+        from repro.netflow.records import FlowKey
+
+        assert len(dataclasses.fields(FlowKey)) == 7
+
+
+class TestSection6Constants:
+    """Testbed address plan (Section 6.2, Tables 1-3)."""
+
+    def test_143_public_slash8s(self):
+        assert len(PUBLIC_SLASH8_BLOCKS) == 143
+
+    def test_1144_defined_sub_blocks_1000_used(self):
+        space = SubBlockSpace()
+        assert space.total_defined == 1144
+        assert len(space) == 1000
+
+    def test_10_peers_100_blocks_each(self):
+        config = TestbedConfig()
+        assert config.n_peers == 10
+        assert config.blocks_per_peer == 100
+
+    def test_12_unique_attacks(self):
+        assert len(ATTACK_NAMES) == 12
+
+    def test_eia_default_granularity_matches_sub_blocks(self):
+        assert EIAConfig().granularity == 11

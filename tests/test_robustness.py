@@ -1,0 +1,137 @@
+"""Failure injection and fuzzing: malformed input must never crash the
+long-running components."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EnhancedInFilter, PipelineConfig
+from repro.netflow.collector import FlowCollector
+from repro.netflow.files import import_ascii, read_flow_file
+from repro.netflow.v5 import decode_datagram, encode_datagram
+from repro.routing.lookingglass import parse_traceroute
+from repro.routing.table import parse_show_ip_bgp
+from repro.util.errors import ReproError
+from repro.util.rng import SeededRng
+
+import io
+
+
+class TestCollectorFuzz:
+    @given(st.binary(max_size=400))
+    @settings(max_examples=150)
+    def test_collector_survives_arbitrary_bytes(self, blob):
+        collector = FlowCollector()
+        result = collector.receive(blob, source=1)
+        # Either it decoded (a structurally valid datagram) or it was
+        # counted as an error; never an exception.
+        assert isinstance(result, list)
+        assert collector.stats.decode_errors + collector.stats.datagrams == 1
+
+    @given(st.binary(min_size=24, max_size=100))
+    @settings(max_examples=100)
+    def test_decode_raises_only_netflow_errors(self, blob):
+        try:
+            decode_datagram(blob)
+        except ReproError:
+            pass  # the documented failure mode
+
+    def test_bit_flipped_valid_datagram(self):
+        from repro.netflow.records import FlowKey, FlowRecord
+
+        record = FlowRecord(
+            key=FlowKey(src_addr=1, dst_addr=2, protocol=6, dst_port=80),
+            packets=1,
+            octets=40,
+            first=0,
+            last=0,
+        )
+        data = bytearray(
+            encode_datagram([record], sys_uptime=0, unix_secs=0, flow_sequence=0)
+        )
+        collector = FlowCollector()
+        for position in range(0, len(data), 7):
+            mutated = bytearray(data)
+            mutated[position] ^= 0xFF
+            collector.receive(bytes(mutated), source=1)
+        # Some mutations decode (payload bits), some do not (header bits);
+        # all are absorbed.
+        assert collector.stats.decode_errors + collector.stats.datagrams > 0
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=300))
+    @settings(max_examples=100)
+    def test_bgp_table_parser_never_crashes_unexpectedly(self, text):
+        try:
+            parse_show_ip_bgp(text)
+        except ReproError:
+            pass
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=100)
+    def test_traceroute_parser_never_crashes_unexpectedly(self, text):
+        try:
+            parse_traceroute(text)
+        except ReproError:
+            pass
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=80)
+    def test_ascii_flow_import_never_crashes_unexpectedly(self, text):
+        try:
+            import_ascii(io.StringIO(text))
+        except ReproError:
+            pass
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=80)
+    def test_binary_flow_file_reader(self, blob):
+        try:
+            read_flow_file(io.BytesIO(blob))
+        except ReproError:
+            pass
+
+
+class TestDetectorRobustness:
+    def test_extreme_flow_values_processed(self, eia_plan, target_prefix):
+        from tests.conftest import make_detector
+        from repro.netflow.records import FlowKey, FlowRecord
+
+        detector = make_detector(eia_plan, target_prefix, seed=808)
+        extremes = [
+            FlowRecord(
+                key=FlowKey(src_addr=0, dst_addr=0, protocol=255,
+                            src_port=65535, dst_port=65535, input_if=0),
+                packets=1,
+                octets=2**32 - 1,
+                first=0,
+                last=2**31,
+            ),
+            FlowRecord(
+                key=FlowKey(src_addr=2**32 - 1, dst_addr=2**32 - 1, protocol=0,
+                            input_if=9),
+                packets=2**31,
+                octets=2**32 - 1,
+                first=5,
+                last=5,
+            ),
+        ]
+        for record in extremes:
+            decision = detector.process(record)
+            assert decision.verdict in ("legal", "benign", "attack")
+
+    def test_untrained_basic_detector_handles_everything(self):
+        from repro.netflow.records import FlowKey, FlowRecord
+
+        detector = EnhancedInFilter(PipelineConfig.basic(), rng=SeededRng(1))
+        record = FlowRecord(
+            key=FlowKey(src_addr=1, dst_addr=2, protocol=6, input_if=0),
+            packets=1,
+            octets=40,
+            first=0,
+            last=0,
+        )
+        # No EIA sets at all: everything is an unknown source -> attack.
+        decision = detector.process(record)
+        assert decision.is_attack

@@ -1,0 +1,227 @@
+"""Tests for the AS topology generator and churn dynamics."""
+
+import pytest
+
+from repro.routing.topology import (
+    ASNode,
+    ASTopology,
+    DynamicsRates,
+    Relationship,
+    TopologyDynamics,
+    TopologyParams,
+    generate_internet,
+)
+from repro.util.errors import RoutingError
+from repro.util.ip import Prefix
+from repro.util.rng import SeededRng
+
+
+def tiny_topology():
+    topo = ASTopology()
+    for asn, tier in ((1, 1), (2, 2), (3, 3)):
+        topo.add_as(ASNode(asn=asn, tier=tier))
+    topo.connect(2, 1, Relationship.CUSTOMER, n_links=2)
+    topo.connect(3, 2, Relationship.CUSTOMER)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_as_rejected(self):
+        topo = ASTopology()
+        topo.add_as(ASNode(asn=1, tier=1))
+        with pytest.raises(RoutingError):
+            topo.add_as(ASNode(asn=1, tier=1))
+
+    def test_connect_requires_existing_ases(self):
+        topo = ASTopology()
+        topo.add_as(ASNode(asn=1, tier=1))
+        with pytest.raises(RoutingError):
+            topo.connect(1, 99, Relationship.PEER)
+
+    def test_duplicate_adjacency_rejected(self):
+        topo = tiny_topology()
+        with pytest.raises(RoutingError):
+            topo.connect(2, 1, Relationship.CUSTOMER)
+
+    def test_roles_are_symmetric(self):
+        topo = tiny_topology()
+        adjacency = topo.adjacency(2, 1)
+        assert adjacency.role_of(2) == Relationship.CUSTOMER
+        assert adjacency.role_of(1) == Relationship.PROVIDER
+
+    def test_role_of_outsider_rejected(self):
+        topo = tiny_topology()
+        with pytest.raises(RoutingError):
+            topo.adjacency(2, 1).role_of(3)
+
+    def test_neighbor_queries(self):
+        topo = tiny_topology()
+        assert topo.providers_of(3) == [2]
+        assert topo.customers_of(1) == [2]
+        assert topo.providers_of(1) == []
+        assert topo.peers_of(2) == []
+
+    def test_parallel_links_same_router_pair(self):
+        topo = tiny_topology()
+        links = topo.adjacency(2, 1).links
+        assert len(links) == 2
+        assert links[0].a_router == links[1].a_router
+        assert links[0].b_router == links[1].b_router
+        assert links[0].a_addr != links[1].a_addr
+
+    def test_origin_lookup_most_specific_wins(self):
+        topo = tiny_topology()
+        topo.nodes[3].prefixes.append(Prefix.parse("4.0.0.0/8"))
+        topo.nodes[2].prefixes.append(Prefix.parse("4.2.0.0/16"))
+        asn, prefix = topo.origin_of(Prefix.parse("4.2.0.0/16").nth_address(5))
+        assert asn == 2
+        asn, _ = topo.origin_of(Prefix.parse("4.9.0.0/16").nth_address(5))
+        assert asn == 3
+
+    def test_origin_cache_invalidation(self):
+        topo = tiny_topology()
+        topo.nodes[3].prefixes.append(Prefix.parse("4.0.0.0/8"))
+        assert topo.origin_of(Prefix.parse("4.0.0.0/8").nth_address(1))[0] == 3
+        topo.nodes[2].prefixes.append(Prefix.parse("4.2.0.0/16"))
+        topo.invalidate_origins()
+        assert topo.origin_of(Prefix.parse("4.2.0.0/16").nth_address(1))[0] == 2
+
+
+class TestGenerator:
+    def test_counts_match_params(self):
+        params = TopologyParams(n_tier1=3, n_tier2=6, n_stub=12)
+        topo = generate_internet(params, rng=SeededRng(1))
+        tiers = {}
+        for node in topo.nodes.values():
+            tiers[node.tier] = tiers.get(node.tier, 0) + 1
+        assert tiers == {1: 3, 2: 6, 3: 12}
+
+    def test_tier1_full_mesh(self):
+        params = TopologyParams(n_tier1=4, n_tier2=4, n_stub=4)
+        topo = generate_internet(params, rng=SeededRng(1))
+        tier1 = [asn for asn, n in topo.nodes.items() if n.tier == 1]
+        for a in tier1:
+            for b in tier1:
+                if a < b:
+                    assert topo.adjacency(a, b).relationship == Relationship.PEER
+
+    def test_every_stub_has_a_provider(self):
+        topo = generate_internet(
+            TopologyParams(n_tier1=3, n_tier2=6, n_stub=12), rng=SeededRng(1)
+        )
+        for asn, node in topo.nodes.items():
+            if node.tier == 3:
+                assert topo.providers_of(asn)
+
+    def test_edge_networks_originate_prefixes(self):
+        topo = generate_internet(
+            TopologyParams(n_tier1=3, n_tier2=6, n_stub=12), rng=SeededRng(1)
+        )
+        originating = [a for a, n in topo.nodes.items() if n.prefixes]
+        edge = [a for a, n in topo.nodes.items() if n.tier >= 2]
+        assert set(originating) == set(edge)
+
+    def test_prefixes_do_not_collide(self):
+        topo = generate_internet(
+            TopologyParams(n_tier1=3, n_tier2=6, n_stub=12), rng=SeededRng(1)
+        )
+        slash16s = [
+            p for _, n in topo.nodes.items() for p in n.prefixes if p.length == 16
+        ]
+        assert len(slash16s) == len(set(slash16s))
+
+    def test_determinism(self):
+        params = TopologyParams(n_tier1=3, n_tier2=6, n_stub=12)
+        a = generate_internet(params, rng=SeededRng(9))
+        b = generate_internet(params, rng=SeededRng(9))
+        assert sorted(a.nodes) == sorted(b.nodes)
+        edges_a = sorted((adj.a, adj.b, adj.relationship) for adj in a.adjacencies())
+        edges_b = sorted((adj.a, adj.b, adj.relationship) for adj in b.adjacencies())
+        assert edges_a == edges_b
+
+
+class TestDynamics:
+    def test_rates_must_be_nonnegative(self):
+        with pytest.raises(RoutingError):
+            DynamicsRates(link_flip_per_adjacency=-1.0)
+
+    def test_no_backwards_time(self):
+        topo = tiny_topology()
+        dynamics = TopologyDynamics(topo, rng=SeededRng(1))
+        dynamics.advance_to(100.0)
+        with pytest.raises(RoutingError):
+            dynamics.advance_to(50.0)
+
+    def test_zero_rates_mean_no_events(self):
+        topo = tiny_topology()
+        rates = DynamicsRates(
+            link_flip_per_adjacency=0.0,
+            igp_churn_per_as=0.0,
+            policy_change_per_as=0.0,
+        )
+        dynamics = TopologyDynamics(topo, rates, rng=SeededRng(1))
+        dynamics.advance_to(3600 * 24 * 30)
+        assert dynamics.flip_events == 0
+        assert dynamics.igp_events == 0
+        assert dynamics.policy_events == 0
+
+    def test_link_flips_change_active_link(self):
+        topo = tiny_topology()
+        rates = DynamicsRates(
+            link_flip_per_adjacency=100.0,  # per hour: flips are certain
+            igp_churn_per_as=0.0,
+            policy_change_per_as=0.0,
+        )
+        dynamics = TopologyDynamics(topo, rates, rng=SeededRng(1))
+        dynamics.advance_to(3600.0)
+        assert dynamics.flip_events > 0
+
+    def test_igp_churn_bumps_epochs(self):
+        topo = tiny_topology()
+        rates = DynamicsRates(
+            link_flip_per_adjacency=0.0,
+            igp_churn_per_as=10.0,
+            policy_change_per_as=0.0,
+        )
+        dynamics = TopologyDynamics(topo, rates, rng=SeededRng(1))
+        dynamics.advance_to(3600.0)
+        assert any(node.igp_epoch > 0 for node in topo.nodes.values())
+
+    def test_policy_events_only_at_multihomed_ases(self):
+        # The tiny topology has no multihomed AS: policy events impossible.
+        topo = tiny_topology()
+        rates = DynamicsRates(
+            link_flip_per_adjacency=0.0,
+            igp_churn_per_as=0.0,
+            policy_change_per_as=1000.0,
+        )
+        dynamics = TopologyDynamics(topo, rates, rng=SeededRng(1))
+        dynamics.advance_to(3600.0)
+        assert dynamics.policy_events == 0
+        assert topo.policy_epoch == 0
+
+    def test_policy_event_reprefers_provider(self):
+        topo = tiny_topology()
+        topo.add_as(ASNode(asn=4, tier=2))
+        topo.connect(3, 4, Relationship.CUSTOMER)  # AS3 now multihomed
+        rates = DynamicsRates(
+            link_flip_per_adjacency=0.0,
+            igp_churn_per_as=0.0,
+            policy_change_per_as=500.0,
+        )
+        dynamics = TopologyDynamics(topo, rates, rng=SeededRng(1))
+        dynamics.advance_to(3600.0)
+        assert dynamics.policy_events > 0
+        assert topo.policy_epoch == dynamics.policy_events
+        prefs = topo.nodes[3].local_pref
+        assert sorted(prefs.values(), reverse=True)[0] == 110
+
+    def test_determinism_across_time_slicing(self):
+        def run(slices):
+            topo = tiny_topology()
+            dynamics = TopologyDynamics(topo, rng=SeededRng(5))
+            for instant in slices:
+                dynamics.advance_to(instant)
+            return (dynamics.flip_events, dynamics.igp_events, dynamics.policy_events)
+
+        assert run([3600 * 24]) == run([3600, 7200, 3600 * 24])

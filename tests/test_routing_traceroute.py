@@ -1,0 +1,193 @@
+"""Tests for the traceroute simulator, Looking-Glass sites, and FQDNs."""
+
+import pytest
+
+from repro.routing.lookingglass import LookingGlassSite, parse_traceroute
+from repro.routing.names import NameRegistry, RouterName, router_of_fqdn
+from repro.routing.topology import ASNode, ASTopology, Relationship
+from repro.routing.traceroute import TracerouteSimulator
+from repro.util.errors import NoRouteError, RoutingError
+from repro.util.ip import Prefix
+from repro.util.rng import SeededRng
+
+TARGET_PREFIX = Prefix.parse("4.50.0.0/16")
+TARGET = TARGET_PREFIX.nth_address(20)
+
+
+def linear_topology():
+    """vantage 30 -> transit 3 -> transit 2 -> origin 10 (all customer chains up/down via tier1 1).
+
+    Simple chain: 30 -c-> 3 -c-> 1 <-c- 2 <-c- 10, so the AS path from 30
+    to 10 is 30 3 1 2 10.
+    """
+    topo = ASTopology()
+    for asn, tier in ((1, 1), (2, 2), (3, 2), (10, 3), (30, 3)):
+        topo.add_as(ASNode(asn=asn, tier=tier))
+    topo.connect(3, 1, Relationship.CUSTOMER, n_links=2)
+    topo.connect(2, 1, Relationship.CUSTOMER)
+    topo.connect(10, 2, Relationship.CUSTOMER, n_links=2, same_subnet=True)
+    topo.connect(30, 3, Relationship.CUSTOMER)
+    topo.nodes[10].prefixes.append(TARGET_PREFIX)
+    return topo
+
+
+class TestNames:
+    def test_router_of_fqdn_strips_interface(self):
+        assert router_of_fqdn("ge-1-2-0.cr1.nyc.lumen7018.net") == "cr1.nyc.lumen7018.net"
+
+    def test_interface_fqdn_stable(self):
+        registry = NameRegistry()
+        router = RouterName(asn=7, router_id=1)
+        first = registry.interface_fqdn(router, 0, 12345)
+        again = registry.interface_fqdn(router, 3, 12345)
+        assert first == again  # address identity wins
+
+    def test_parallel_interfaces_share_router_suffix(self):
+        registry = NameRegistry()
+        router = RouterName(asn=7, router_id=1)
+        a = registry.interface_fqdn(router, 0, 111)
+        b = registry.interface_fqdn(router, 1, 222)
+        assert a != b
+        assert router_of_fqdn(a) == router_of_fqdn(b)
+
+    def test_resolve(self):
+        registry = NameRegistry()
+        router = RouterName(asn=7, router_id=1)
+        fqdn = registry.interface_fqdn(router, 0, 111)
+        assert registry.resolve(111) == fqdn
+        assert registry.resolve(999) is None
+
+
+class TestTrace:
+    def make(self, loss=0.0):
+        topo = linear_topology()
+        sim = TracerouteSimulator(topo, rng=SeededRng(4), loss_probability=loss)
+        return topo, sim
+
+    def test_reaches_target(self):
+        _topo, sim = self.make()
+        result = sim.trace(30, TARGET)
+        assert result.complete
+        assert result.hops[-1].address == TARGET
+
+    def test_last_hop_pair_is_boundary_link(self):
+        topo, sim = self.make()
+        result = sim.trace(30, TARGET)
+        last = result.last_hop()
+        link = topo.adjacency(2, 10).current_link()
+        assert {last.peer.address, last.border.address} == {
+            link.a_addr,
+            link.b_addr,
+        }
+
+    def test_hops_follow_as_path(self):
+        _topo, sim = self.make()
+        result = sim.trace(30, TARGET)
+        asns = [hop.asn for hop in result.hops]
+        # Monotone progression through 30, 3, 1, 2, 10 without regressions.
+        order = {30: 0, 3: 1, 1: 2, 2: 3, 10: 4}
+        ranks = [order[a] for a in asns]
+        assert ranks == sorted(ranks)
+
+    def test_link_flip_changes_last_hop_raw_not_fqdn(self):
+        topo, sim = self.make()
+        before = sim.trace(30, TARGET).last_hop()
+        adjacency = topo.adjacency(2, 10)
+        adjacency.active_link = 1
+        after = sim.trace(30, TARGET).last_hop()
+        assert before.raw_key() != after.raw_key()
+        assert before.fqdn_key() == after.fqdn_key()
+        # Links share a /24 (same_subnet=True): subnet key also stable.
+        assert before.subnet_key() == after.subnet_key()
+
+    def test_igp_churn_changes_middle_not_last_hop(self):
+        topo, sim = self.make()
+        before = sim.trace(30, TARGET)
+        topo.nodes[1].igp_epoch += 1
+        after = sim.trace(30, TARGET)
+        assert before.last_hop().raw_key() == after.last_hop().raw_key()
+        internal_before = [h.address for h in before.hops if h.asn == 1]
+        internal_after = [h.address for h in after.hops if h.asn == 1]
+        assert internal_before != internal_after
+
+    def test_unknown_target_rejected(self):
+        _topo, sim = self.make()
+        with pytest.raises(NoRouteError):
+            sim.trace(30, Prefix.parse("9.9.9.0/24").nth_address(1))
+
+    def test_same_as_rejected(self):
+        _topo, sim = self.make()
+        with pytest.raises(RoutingError):
+            sim.trace(10, TARGET)
+
+    def test_unknown_source_rejected(self):
+        _topo, sim = self.make()
+        with pytest.raises(RoutingError):
+            sim.trace(12345, TARGET)
+
+    def test_loss_produces_incomplete_traces(self):
+        _topo, sim = self.make(loss=0.8)
+        results = [sim.trace(30, TARGET) for _ in range(40)]
+        assert any(not r.complete for r in results)
+        truncated = [r for r in results if not r.complete]
+        assert all(r.last_hop() is None for r in truncated)
+
+    def test_route_cache_tracks_policy_epoch(self):
+        topo, sim = self.make()
+        sim.trace(30, TARGET)
+        # Re-prefer AS 10's only... give 10 a second provider first.
+        topo.add_as(ASNode(asn=5, tier=2))
+        topo.connect(5, 1, Relationship.CUSTOMER)
+        topo.connect(10, 5, Relationship.CUSTOMER)
+        topo.nodes[10].local_pref[5] = 150
+        # Without an epoch bump the cached path (via 2) is still used.
+        cached = sim.trace(30, TARGET)
+        assert any(h.asn == 2 for h in cached.hops)
+        topo.policy_epoch += 1
+        fresh = sim.trace(30, TARGET)
+        # Outbound pref at the *origin* does not steer inbound paths; the
+        # point here is only that the cache was invalidated and recomputed
+        # without error after the epoch bump.
+        assert fresh.complete
+
+
+class TestRenderParse:
+    def test_round_trip(self):
+        topo = linear_topology()
+        sim = TracerouteSimulator(topo, rng=SeededRng(4), loss_probability=0.0)
+        text = sim.trace(30, TARGET).render()
+        parsed = parse_traceroute(text)
+        assert parsed.complete
+        assert parsed.target == TARGET
+        assert parsed.last_hop_raw() is not None
+        assert parsed.last_hop_fqdn() is not None
+
+    def test_parse_incomplete(self):
+        text = (
+            "traceroute to 4.50.0.20 (4.50.0.20), 30 hops max, 40 byte packets\n"
+            " 1  ge-0-0-0.cr1.nyc.lumen1.net (146.0.0.1)  1.000 ms\n"
+            " 2  * * *\n"
+        )
+        parsed = parse_traceroute(text)
+        assert not parsed.complete
+        assert parsed.last_hop_raw() is None
+
+    def test_parse_requires_header(self):
+        with pytest.raises(RoutingError):
+            parse_traceroute(" 1  host (1.2.3.4)  1.0 ms\n")
+
+    def test_trace_not_reaching_target_is_incomplete(self):
+        text = (
+            "traceroute to 4.50.0.20 (4.50.0.20), 30 hops max, 40 byte packets\n"
+            " 1  ge-0-0-0.cr1.nyc.lumen1.net (146.0.0.1)  1.000 ms\n"
+        )
+        assert not parse_traceroute(text).complete
+
+    def test_looking_glass_site(self):
+        topo = linear_topology()
+        sim = TracerouteSimulator(topo, rng=SeededRng(4), loss_probability=0.0)
+        site = LookingGlassSite("lg-test", 30, sim)
+        text = site.traceroute(TARGET)
+        assert text.startswith("traceroute to 4.50.0.20")
+        assert parse_traceroute(text).complete
+        assert "lg-test" in repr(site)

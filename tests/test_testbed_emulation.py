@@ -1,0 +1,109 @@
+"""Tests for the testbed emulation layer."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.flowgen import synthesize_trace
+from repro.testbed.emulation import Testbed, TestbedConfig
+from repro.util import SeededRng
+from repro.util.errors import ExperimentError
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(TestbedConfig(training_flows=800), rng=SeededRng(77))
+
+
+class TestConfig:
+    def test_rejects_single_peer(self):
+        with pytest.raises(ExperimentError):
+            TestbedConfig(n_peers=1)
+
+    def test_defaults_match_paper(self):
+        config = TestbedConfig()
+        assert config.n_peers == 10
+        assert config.blocks_per_peer == 100
+
+
+class TestSetup:
+    def test_eia_plan_partitions_blocks(self, testbed):
+        blocks = [b for blocks in testbed.eia_plan.values() for b in blocks]
+        assert len(blocks) == len(set(blocks)) == 1000
+
+    def test_detector_preloaded(self, testbed):
+        detector = testbed.build_detector(PipelineConfig.basic())
+        assert detector.infilter.peers() == list(range(10))
+        # A known block of peer 4 is expected there.
+        block = testbed.eia_plan[4][0]
+        assert detector.infilter.expected_peer_for(block.nth_address(1)) == 4
+
+    def test_enhanced_detector_is_trained(self, testbed):
+        detector = testbed.build_detector(PipelineConfig.enhanced_default())
+        assert detector.model is not None
+        assert detector.model.subclusters
+
+    def test_basic_detector_skips_training(self, testbed):
+        detector = testbed.build_detector(PipelineConfig.basic())
+        assert detector.model is None
+
+
+class TestStreams:
+    def test_merge_orders_by_time(self, testbed):
+        streams = []
+        for peer in (0, 1, 2):
+            trace = synthesize_trace(50, rng=SeededRng(peer + 1))
+            dagflow = testbed.normal_dagflow(peer, testbed.eia_plan[peer])
+            streams.append((peer, dagflow.replay(trace)))
+        merged = list(testbed.merge_streams(streams))
+        firsts = [t.record.first for t in merged]
+        assert firsts == sorted(firsts)
+        assert len(merged) == 150
+
+    def test_demux_stamps_peer_identity(self, testbed):
+        trace = synthesize_trace(20, rng=SeededRng(5))
+        dagflow = testbed.normal_dagflow(3, testbed.eia_plan[3])
+        merged = list(testbed.merge_streams([(3, dagflow.replay(trace))]))
+        assert all(t.record.key.input_if == 3 for t in merged)
+        assert all(t.peer == 3 for t in merged)
+
+    def test_wire_round_trip_preserves_fields(self):
+        testbed = Testbed(
+            TestbedConfig(training_flows=100, use_wire=True), rng=SeededRng(6)
+        )
+        bypass = Testbed(
+            TestbedConfig(training_flows=100, use_wire=False), rng=SeededRng(6)
+        )
+        trace = synthesize_trace(30, rng=SeededRng(7))
+
+        def stream(tb):
+            dagflow = tb.normal_dagflow(2, tb.eia_plan[2])
+            return list(tb.merge_streams([(2, dagflow.replay(trace))]))
+
+        wired = stream(testbed)
+        direct = stream(bypass)
+        assert [t.record for t in wired] == [t.record for t in direct]
+
+    def test_attack_dagflow_spoofs_foreign_blocks(self, testbed):
+        from repro.flowgen.attacks import generate_attack
+
+        attack = testbed.attack_dagflow(0)
+        own = testbed.eia_plan[0]
+        flows = generate_attack("slammer", rng=SeededRng(8))
+        for labelled in attack.replay(flows):
+            src = labelled.record.key.src_addr
+            assert not any(block.contains(src) for block in own)
+
+    def test_labels_survive_merging(self, testbed):
+        from repro.flowgen.attacks import generate_attack
+
+        flows = generate_attack("tfn2k", rng=SeededRng(9))
+        merged = list(
+            testbed.merge_streams([(0, testbed.attack_dagflow(0).replay(flows))])
+        )
+        assert all(t.label == "tfn2k" for t in merged)
+        assert all(t.is_attack for t in merged)
+
+    def test_allocations_for(self, testbed):
+        allocations = testbed.allocations_for(2, 4)
+        assert len(allocations) == 4
+        assert set(allocations[0]) == set(range(10))

@@ -1,0 +1,147 @@
+"""Tests for the Section 6.3 experiment runners (scaled down)."""
+
+import pytest
+
+from repro.testbed.emulation import TestbedConfig
+from repro.testbed.experiments import (
+    ExperimentParams,
+    experiment_route_changes,
+    experiment_spoofed_attacks,
+    experiment_stress,
+    run_point,
+    run_single,
+)
+from repro.util import SeededRng
+from repro.util.errors import ExperimentError
+
+SMALL_TESTBED = TestbedConfig(training_flows=1200)
+SMALL_PARAMS = ExperimentParams(normal_flows_per_peer=300, runs=1)
+
+
+def small(**overrides):
+    from dataclasses import replace
+
+    return replace(SMALL_PARAMS, **overrides)
+
+
+class TestParams:
+    def test_rejects_bad_volume(self):
+        with pytest.raises(ExperimentError):
+            ExperimentParams(attack_volume=1.5)
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ExperimentError):
+            ExperimentParams(runs=0)
+
+    def test_rejects_rotation_without_allocations(self):
+        with pytest.raises(ExperimentError):
+            ExperimentParams(rotate_allocations=True, n_allocations=1)
+
+
+class TestRunSingle:
+    def test_scores_both_classes(self):
+        score = run_single(
+            SMALL_TESTBED, small(attack_volume=0.08), rng=SeededRng(1)
+        )
+        assert score.normal_flows == 300 * 10
+        assert score.attack_flows > 0
+        assert score.instances
+
+    def test_bad_attack_peer_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_single(
+                SMALL_TESTBED, small(attack_peers=(99,)), rng=SeededRng(1)
+            )
+
+    def test_no_attacks_at_zero_volume(self):
+        score = run_single(
+            SMALL_TESTBED, small(attack_volume=0.0), rng=SeededRng(1)
+        )
+        assert score.attack_flows == 0
+
+    def test_detection_high_with_spoofing(self):
+        score = run_single(
+            SMALL_TESTBED, small(attack_volume=0.08), rng=SeededRng(2)
+        )
+        score.finalize()
+        assert score.detection_rate > 0.5
+
+    def test_basic_configuration_flags_all_spoofed(self):
+        score = run_single(
+            SMALL_TESTBED,
+            small(attack_volume=0.08, enhanced=False),
+            rng=SeededRng(3),
+        )
+        assert score.flow_detection_rate == 1.0
+
+    def test_scan_disabled_still_runs(self):
+        score = run_single(
+            SMALL_TESTBED,
+            small(attack_volume=0.08, scan_enabled=False),
+            rng=SeededRng(4),
+        )
+        assert score.attack_flows > 0
+
+
+class TestRunPoint:
+    def test_averages_runs(self):
+        series = run_point(SMALL_TESTBED, small(runs=2, attack_volume=0.08))
+        assert len(series.runs) == 2
+        assert 0.0 <= series.detection_rate <= 1.0
+
+
+class TestExperimentShapes:
+    """Cheap versions of the paper's qualitative claims."""
+
+    def test_631_low_false_positives(self):
+        results = experiment_spoofed_attacks(
+            volumes=(0.04,),
+            testbed_config=SMALL_TESTBED,
+            base_params=small(),
+        )
+        series = results[0.04]
+        assert series.false_positive_rate < 0.05
+        assert series.detection_rate > 0.5
+
+    def test_632_uses_all_peers(self):
+        results = experiment_stress(
+            volumes=(0.04,),
+            testbed_config=SMALL_TESTBED,
+            base_params=small(),
+        )
+        series = results[0.04]
+        # 10 attack sets: at least as many instances as a single set.
+        assert series.runs[0].attack_flows > 0
+
+    def test_633_bi_fp_grows_with_route_change(self):
+        results = experiment_route_changes(
+            volumes=(0.04,),
+            route_changes=(1, 8),
+            enhanced=False,
+            testbed_config=SMALL_TESTBED,
+            base_params=small(),
+        )
+        low = results[(0.04, 1)].false_positive_rate
+        high = results[(0.04, 8)].false_positive_rate
+        assert high > low
+
+    def test_633_ei_fp_below_bi_fp(self):
+        common = dict(
+            volumes=(0.04,),
+            route_changes=(8,),
+            testbed_config=SMALL_TESTBED,
+            base_params=small(normal_flows_per_peer=500),
+        )
+        bi = experiment_route_changes(enhanced=False, **common)[(0.04, 8)]
+        ei = experiment_route_changes(enhanced=True, **common)[(0.04, 8)]
+        assert ei.false_positive_rate < bi.false_positive_rate
+
+    def test_633_bi_detection_stays_total(self):
+        results = experiment_route_changes(
+            volumes=(0.04,),
+            route_changes=(4,),
+            enhanced=False,
+            testbed_config=SMALL_TESTBED,
+            base_params=small(),
+        )
+        assert results[(0.04, 4)].detection_rate == 1.0

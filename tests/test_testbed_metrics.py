@@ -1,0 +1,83 @@
+"""Tests for experiment scoring."""
+
+import pytest
+
+from repro.testbed.metrics import RunScore, SeriesScore, mean, std
+
+
+class TestHelpers:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_std(self):
+        assert std([2.0, 2.0, 2.0]) == 0.0
+        assert std([1.0]) == 0.0
+        assert std([0.0, 2.0]) == pytest.approx(1.0)
+
+
+class TestRunScore:
+    def test_false_positive_rate(self):
+        score = RunScore()
+        for flagged in (True, False, False, False):
+            score.note_normal(flagged)
+        assert score.false_positive_rate == 0.25
+
+    def test_detection_rate_instance_level(self):
+        score = RunScore()
+        # Instance a: 1 of 3 flows flagged -> detected.
+        score.note_attack("slammer#a", False)
+        score.note_attack("slammer#a", True)
+        score.note_attack("slammer#a", False)
+        # Instance b: never flagged -> missed.
+        score.note_attack("puke#b", False)
+        assert score.detection_rate == 0.5
+        assert score.flow_detection_rate == 0.25
+
+    def test_empty_rates(self):
+        score = RunScore()
+        assert score.detection_rate == 0.0
+        assert score.false_positive_rate == 0.0
+        assert score.flow_detection_rate == 0.0
+
+    def test_finalize_builds_type_table(self):
+        score = RunScore()
+        score.note_attack("slammer#1", True)
+        score.note_attack("slammer#2", False)
+        score.note_attack("puke#1", False)
+        score.finalize()
+        assert score.by_type == {"puke": (0, 1), "slammer": (1, 2)}
+
+
+class TestSeriesScore:
+    def make_run(self, fp, detected):
+        run = RunScore()
+        for index in range(100):
+            run.note_normal(index < fp * 100)
+        for index in range(10):
+            run.note_attack(f"atk#{index}", index < detected * 10)
+        return run
+
+    def test_averages_over_runs(self):
+        series = SeriesScore()
+        series.add(self.make_run(0.02, 0.8))
+        series.add(self.make_run(0.04, 0.6))
+        assert series.false_positive_rate == pytest.approx(0.03)
+        assert series.detection_rate == pytest.approx(0.7)
+        assert series.false_positive_rate_std > 0
+
+    def test_by_type_sums_across_runs(self):
+        series = SeriesScore()
+        for _ in range(3):
+            run = RunScore()
+            run.note_attack("slammer#1", True)
+            series.add(run)
+        assert series.by_type() == {"slammer": (3, 3)}
+
+    def test_latency_mean(self):
+        series = SeriesScore()
+        a = RunScore(latency_mean_s=0.001)
+        b = RunScore(latency_mean_s=0.003)
+        series.add(a)
+        series.add(b)
+        assert series.latency_mean_s == pytest.approx(0.002)

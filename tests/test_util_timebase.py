@@ -1,0 +1,63 @@
+"""Tests for the simulated clock and periodic sampling."""
+
+import pytest
+
+from repro.util.timebase import DAY, HOUR, MINUTE, SimClock, periodic
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_millis(self):
+        clock = SimClock(1.25)
+        assert clock.millis() == 1250
+
+
+class TestPeriodic:
+    def test_inclusive_endpoint(self):
+        instants = list(periodic(0, 30 * MINUTE, 2 * HOUR))
+        assert len(instants) == 5
+        assert instants[0] == 0
+        assert instants[-1] == pytest.approx(2 * HOUR)
+
+    def test_paper_24h_run_sample_count(self):
+        # 30-minute period over 24 hours: 49 sampling instants per pair.
+        assert len(list(periodic(0, 30 * MINUTE, 24 * HOUR))) == 49
+
+    def test_paper_30day_run_sample_count(self):
+        # 2-hour period over 30 days: 361 instants (the paper kept 346
+        # after missing data).
+        assert len(list(periodic(0, 2 * HOUR, 30 * DAY))) == 361
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            list(periodic(0, 0, 10))
+
+    def test_offset_start(self):
+        instants = list(periodic(100.0, 50.0, 250.0))
+        assert instants == [100.0, 150.0, 200.0, 250.0]

@@ -1,0 +1,132 @@
+"""Tests for the Section 3 validation studies (scaled-down configurations)."""
+
+import pytest
+
+from repro.routing.topology import DynamicsRates, TopologyParams
+from repro.util.timebase import DAY, HOUR
+from repro.validation.bgp_study import BgpStudyConfig, run_bgp_study
+from repro.validation.route_stability import (
+    StabilityConfig,
+    run_route_stability_study,
+)
+from repro.validation.traceroute_study import (
+    TracerouteStudyConfig,
+    run_traceroute_study,
+)
+from repro.util.errors import ExperimentError
+
+SMALL_TOPOLOGY = TopologyParams(n_tier1=4, n_tier2=12, n_stub=30)
+
+
+class TestTracerouteStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_traceroute_study(
+            TracerouteStudyConfig(
+                n_sites=6,
+                n_targets=6,
+                duration_s=8 * HOUR,
+                topology=SMALL_TOPOLOGY,
+            )
+        )
+
+    def test_samples_collected(self, result):
+        assert result.samples > 100
+        assert result.transitions > 0
+
+    def test_aggregation_reduces_change_rate(self, result):
+        assert result.fqdn_change_rate <= result.subnet_change_rate
+        assert result.subnet_change_rate <= result.raw_change_rate
+
+    def test_raw_rate_in_plausible_band(self, result):
+        assert 0.0 < result.raw_change_rate < 0.25
+
+    def test_aggregated_rate_small(self, result):
+        # The InFilter hypothesis: near-zero change after aggregation.
+        assert result.fqdn_change_rate < 0.02
+
+    def test_incomplete_traceroutes_happen(self, result):
+        assert result.incomplete > 0
+
+    def test_summary_text(self, result):
+        text = result.summary()
+        assert "raw=" in text and "fqdn=" in text
+
+    def test_rejects_degenerate_config(self):
+        with pytest.raises(ExperimentError):
+            TracerouteStudyConfig(n_sites=0)
+        with pytest.raises(ExperimentError):
+            TracerouteStudyConfig(duration_s=10.0, period_s=60.0)
+
+    def test_determinism(self):
+        config = TracerouteStudyConfig(
+            n_sites=3, n_targets=3, duration_s=2 * HOUR, topology=SMALL_TOPOLOGY
+        )
+        a = run_traceroute_study(config)
+        b = run_traceroute_study(config)
+        assert a.summary() == b.summary()
+
+
+class TestBgpStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_bgp_study(
+            BgpStudyConfig(
+                n_targets=6,
+                duration_s=4 * DAY,
+                topology=SMALL_TOPOLOGY,
+            )
+        )
+
+    def test_snapshots_and_missing(self, result):
+        assert result.snapshots_taken > 30
+        assert result.snapshots_missing >= 0
+
+    def test_per_target_series(self, result):
+        assert len(result.targets) == 6
+        for series in result.targets:
+            assert series.readings > 0
+            assert series.n_peer_ases >= 1
+
+    def test_change_rates_small_but_present(self, result):
+        assert 0.0 <= result.overall_mean_change < 0.2
+        assert result.overall_max_change <= 1.0
+
+    def test_figure5_points_sorted_by_peer_count(self, result):
+        points = result.figure5_points()
+        assert len(points) == 6
+        assert [p for p, _ in points] == sorted(p for p, _ in points)
+
+    def test_rejects_degenerate_config(self):
+        with pytest.raises(ExperimentError):
+            BgpStudyConfig(n_targets=0)
+        with pytest.raises(ExperimentError):
+            BgpStudyConfig(missing_snapshot_probability=1.0)
+
+
+class TestRouteStability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_route_stability_study(
+            StabilityConfig(
+                n_pairs=6,
+                duration_s=18 * HOUR,
+                topology=SMALL_TOPOLOGY,
+            )
+        )
+
+    def test_figure1_shape_middle_most_volatile(self, result):
+        first, middle, last = result.edge_vs_middle()
+        assert middle > first
+        assert middle > last
+
+    def test_curve_has_all_buckets(self, result):
+        curve = result.curve()
+        assert len(curve) == 10
+        assert all(0.0 <= rate <= 1.0 for _, rate in curve)
+
+    def test_rejects_degenerate_config(self):
+        with pytest.raises(ExperimentError):
+            StabilityConfig(n_buckets=2)
+        with pytest.raises(ExperimentError):
+            StabilityConfig(n_pairs=0)
