@@ -8,11 +8,18 @@
   emit IDMEF alerts (plus a trace-back summary);
 * ``infilter validate``   — run the Section 3 hypothesis-validation studies;
 * ``infilter experiment`` — run one Section 6.3 experiment point;
-* ``infilter convert``    — convert flow files between binary and ASCII.
+* ``infilter convert``    — convert flow files between binary and ASCII;
+* ``infilter stats``      — render a metrics snapshot (from a
+  ``--metrics-out`` file or the current process registry).
 
 Every command is deterministic given ``--seed``.  EIA sets for ``detect``
 come from a plain-text plan file with one ``<peer> <prefix>`` pair per
 line (``#`` comments allowed).
+
+``detect`` and ``experiment`` accept ``--metrics-out PATH``: the run's
+observability registry (see ``docs/observability.md``) is written after
+the run — a JSON snapshot when ``PATH`` ends in ``.json`` (re-renderable
+with ``infilter stats``), Prometheus text otherwise.
 """
 
 from __future__ import annotations
@@ -39,6 +46,14 @@ from repro.netflow.files import (
 )
 from repro.netflow.records import FlowRecord
 from repro.netflow.reports import build_report
+from repro.obs import (
+    MetricError,
+    MetricsRegistry,
+    load_snapshot_text,
+    render_json,
+    render_prometheus,
+    use_registry,
+)
 from repro.util.errors import ReproError
 from repro.util.ip import Prefix
 from repro.util.rng import SeededRng
@@ -143,7 +158,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 # -- detect ---------------------------------------------------------------
 
 
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write a registry snapshot: JSON for ``*.json``, Prometheus text
+    otherwise."""
+    if path.endswith(".json"):
+        Path(path).write_text(render_json(registry) + "\n")
+    else:
+        Path(path).write_text(render_prometheus(registry))
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
+    # A fresh registry per run isolates the snapshot from anything else
+    # the process counted; components pick it up as the default.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        code = _run_detect(args)
+    if code == 0 and args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}",
+              file=sys.stderr if args.idmef else sys.stdout)
+    return code
+
+
+def _run_detect(args: argparse.Namespace) -> int:
     records = _load_flows(args.flow_file)
     training: List[FlowRecord] = []
     if args.load_state:
@@ -258,6 +295,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        code = _run_experiment(args, registry)
+    if code == 0 and args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return code
+
+
+def _run_experiment(args: argparse.Namespace, registry: MetricsRegistry) -> int:
     from repro.testbed import ExperimentParams, TestbedConfig, run_point
 
     params = ExperimentParams(
@@ -272,6 +319,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         suspect_capacity=25.0 if args.stress else None,
     )
     series = run_point(TestbedConfig(training_flows=args.training_flows), params)
+    series.publish(registry)
     print(
         f"detection={series.detection_rate:.1%}"
         f" (std {series.detection_rate_std:.1%})"
@@ -380,6 +428,27 @@ def _cmd_filter(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- stats --------------------------------------------------------------------
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import get_registry
+
+    if args.snapshot is not None:
+        try:
+            text = Path(args.snapshot).read_text()
+        except OSError as error:
+            raise MetricError(f"cannot read metrics snapshot: {error}") from error
+        registry = load_snapshot_text(text)
+    else:
+        registry = get_registry()
+    if args.format == "json":
+        print(render_json(registry))
+    else:
+        print(render_prometheus(registry), end="")
+    return 0
+
+
 # -- anonymize ---------------------------------------------------------------
 
 
@@ -442,6 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--load-state", default=None, help="restore detector state instead of training"
     )
+    detect.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics snapshot (.json = JSON, else Prometheus text)",
+    )
     detect.set_defaults(handler=_cmd_detect)
 
     validate = commands.add_parser("validate", help="Section 3 validation studies")
@@ -461,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--flows", type=int, default=1000)
     experiment.add_argument("--training-flows", type=int, default=2000)
     experiment.add_argument("--runs", type=int, default=2)
+    experiment.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics snapshot (.json = JSON, else Prometheus text)",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     convert = commands.add_parser("convert", help="convert flow file formats")
@@ -506,6 +585,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     flow_filter.add_argument("--ascii", action="store_true")
     flow_filter.set_defaults(handler=_cmd_filter)
+
+    stats = commands.add_parser(
+        "stats", help="render a metrics snapshot (Prometheus text or JSON)"
+    )
+    stats.add_argument(
+        "snapshot",
+        nargs="?",
+        default=None,
+        help="JSON snapshot file from --metrics-out; omit for the"
+        " current process registry",
+    )
+    stats.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus"
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     anonymize = commands.add_parser(
         "anonymize", help="prefix-preserving address anonymization"

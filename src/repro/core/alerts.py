@@ -14,10 +14,13 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.netflow.records import FlowRecord
+from repro.obs import MetricsRegistry, get_logger, get_registry
 from repro.util.errors import ReproError
 from repro.util.ip import format_ipv4, parse_ipv4
 
 __all__ = ["IdmefAlert", "AlertSink", "parse_idmef"]
+
+log = get_logger(__name__)
 
 _ANALYZER_ID = "enhanced-infilter"
 
@@ -161,15 +164,33 @@ class AlertSink:
     forward the XML to a SIEM or trace-back system instead.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None) -> None:
         self.alerts: List[IdmefAlert] = []
+        registry = registry if registry is not None else get_registry()
+        self._m_alerts = registry.counter(
+            "infilter_alerts_total",
+            "IDMEF alerts consumed, by pipeline stage and classification.",
+            ("stage", "classification"),
+        )
 
     def consume(self, alert: IdmefAlert) -> None:
         self.alerts.append(alert)
+        self._m_alerts.labels(
+            stage=alert.stage, classification=alert.classification
+        ).inc()
+        log.debug(
+            "alert consumed",
+            extra={
+                "ident": alert.ident,
+                "classification": alert.classification,
+                "stage": alert.stage,
+                "severity": alert.severity,
+            },
+        )
 
     def consume_xml(self, xml_text: str) -> IdmefAlert:
         alert = parse_idmef(xml_text)
-        self.alerts.append(alert)
+        self.consume(alert)
         return alert
 
     def __len__(self) -> int:

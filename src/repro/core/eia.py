@@ -21,10 +21,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import EIAConfig
 from repro.netflow.records import FlowRecord
+from repro.obs import MetricsRegistry, get_logger, get_registry
 from repro.util.errors import ConfigError
 from repro.util.ip import Prefix, PrefixTrie
 
 __all__ = ["EIAVerdict", "EIACheck", "EIASet", "BasicInFilter"]
+
+log = get_logger(__name__)
 
 
 class EIAVerdict:
@@ -89,12 +92,27 @@ class BasicInFilter:
     per flow regardless of how many peers exist.
     """
 
-    def __init__(self, config: EIAConfig = EIAConfig()) -> None:
+    def __init__(
+        self,
+        config: EIAConfig = EIAConfig(),
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config
         self._sets: Dict[int, EIASet] = {}
         self._owner: PrefixTrie[int] = PrefixTrie()
         # (peer, block) -> benign observations, for the learning rule.
         self._pending: Dict[Tuple[int, Prefix], int] = {}
+        registry = registry if registry is not None else get_registry()
+        self._m_blocks = registry.gauge(
+            "infilter_eia_blocks",
+            "Expected source blocks currently in one peer AS's EIA set.",
+            ("peer",),
+        )
+        self._m_absorptions = registry.counter(
+            "infilter_eia_absorptions_total",
+            "Section 5.2 learning-rule absorptions of route-changed blocks.",
+        )
 
     # -- initialisation ----------------------------------------------------
 
@@ -143,6 +161,7 @@ class BasicInFilter:
     def _insert(self, eia: EIASet, prefix: Prefix) -> None:
         eia.add(prefix)
         self._owner.insert(prefix, eia.peer)
+        self._m_blocks.labels(peer=eia.peer).set(len(eia))
 
     # -- the check ----------------------------------------------------------
 
@@ -185,7 +204,19 @@ class BasicInFilter:
             previous = self.expected_peer_for(block.network)
             if previous is not None and previous != peer:
                 self._sets[previous].discard(block)
+                self._m_blocks.labels(peer=previous).set(
+                    len(self._sets[previous])
+                )
             self._insert(eia, block)
+            self._m_absorptions.inc()
+            log.info(
+                "EIA absorption: block moved to peer",
+                extra={
+                    "block": str(block),
+                    "peer": peer,
+                    "previous_peer": previous,
+                },
+            )
             return True
         self._pending[key] = count
         return False

@@ -18,7 +18,6 @@ suspect — the paper's BI configuration.  Attacks produce IDMEF alerts.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -30,10 +29,13 @@ from repro.core.eia import BasicInFilter, EIACheck
 from repro.core.nns import SearchResult
 from repro.core.scan import ScanAnalyzer, ScanVerdict
 from repro.netflow.records import FlowRecord
+from repro.obs import MetricsRegistry, Stopwatch, get_logger, get_registry
 from repro.util.errors import TrainingError
 from repro.util.rng import SeededRng
 
 __all__ = ["Verdict", "Stage", "Decision", "PipelineStats", "EnhancedInFilter"]
+
+log = get_logger(__name__)
 
 
 class Verdict:
@@ -127,6 +129,45 @@ class PipelineStats:
         return ordered[index]
 
 
+class _PipelineMetrics:
+    """The pipeline's registry handles (see docs/observability.md).
+
+    Label children are resolved once here rather than per flow: the
+    verdict/stage combinations are a small fixed set and ``process`` is
+    the hot path.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.flows = registry.counter(
+            "infilter_pipeline_flows_total",
+            "Flows assessed, by final verdict and deciding stage.",
+            ("verdict", "stage"),
+        )
+        self.flow_latency = registry.histogram(
+            "infilter_pipeline_flow_latency_seconds",
+            "End-to-end per-flow processing latency (the Section 6.4 metric).",
+        )
+        stage_latency = registry.histogram(
+            "infilter_pipeline_stage_latency_seconds",
+            "Time spent inside one analysis stage, per suspect flow.",
+            ("stage",),
+        )
+        self.eia_latency = stage_latency.labels(stage=Stage.EIA)
+        self.scan_latency = stage_latency.labels(stage=Stage.SCAN)
+        self.nns_latency = stage_latency.labels(stage=Stage.NNS)
+        self.overload = registry.counter(
+            "infilter_pipeline_overload_total",
+            "Suspect flows that hit the Section 6.3.2 saturation gate.",
+            ("action",),
+        )
+        self.overload_dropped = self.overload.labels(action="dropped")
+        self.overload_flagged = self.overload.labels(action="flagged")
+
+    def note(self, decision: Decision) -> None:
+        self.flows.labels(verdict=decision.verdict, stage=decision.stage).inc()
+        self.flow_latency.observe(decision.latency_s)
+
+
 class EnhancedInFilter:
     """The complete detector.
 
@@ -147,12 +188,19 @@ class EnhancedInFilter:
         *,
         alert_sink: Optional[AlertSink] = None,
         rng: Optional[SeededRng] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
-        self.infilter = BasicInFilter(config.eia)
-        self.scan = ScanAnalyzer(config.scan)
+        registry = registry if registry is not None else get_registry()
+        self._metrics = _PipelineMetrics(registry)
+        self.infilter = BasicInFilter(config.eia, registry=registry)
+        self.scan = ScanAnalyzer(config.scan, registry=registry)
         self.model: Optional[ClusterModel] = None
-        self.alert_sink = alert_sink if alert_sink is not None else AlertSink()
+        self.alert_sink = (
+            alert_sink
+            if alert_sink is not None
+            else AlertSink(registry=registry)
+        )
         self.stats = PipelineStats()
         self._rng = rng if rng is not None else SeededRng(config.nns.seed, "pipeline")
         self._alert_counter = 0
@@ -184,48 +232,50 @@ class EnhancedInFilter:
 
     def process(self, record: FlowRecord) -> Decision:
         """Assess one incoming flow and update detector state."""
-        started = time.perf_counter()
+        watch = Stopwatch()
+        stage_watch = Stopwatch()
         eia = self.infilter.check(record)
+        stage_watch.lap_into(self._metrics.eia_latency)
         if not eia.suspect:
             decision = Decision(
                 verdict=Verdict.LEGAL,
                 stage=Stage.EIA,
                 eia=eia,
-                latency_s=time.perf_counter() - started,
+                latency_s=watch.elapsed_s(),
             )
-            self.stats.note(decision)
-            return decision
+            return self._record(decision)
 
         if not self.config.enhanced:
             decision = self._attack(
-                record, eia, Stage.EIA, "spoofed-source", started
+                record, eia, Stage.EIA, "spoofed-source", watch
             )
-            self.stats.note(decision)
-            return decision
+            return self._record(decision)
 
         if self._over_capacity(record.last):
-            decision = self._degraded(record, eia, started)
-            self.stats.note(decision)
-            return decision
+            decision = self._degraded(record, eia, watch)
+            return self._record(decision)
 
+        stage_watch.restart()
         scan_verdict = self.scan.observe(record)
+        stage_watch.lap_into(self._metrics.scan_latency)
         if scan_verdict.is_scan:
             decision = self._attack(
                 record,
                 eia,
                 Stage.SCAN,
                 scan_verdict.kind or "scan",
-                started,
+                watch,
                 scan=scan_verdict,
             )
-            self.stats.note(decision)
-            return decision
+            return self._record(decision)
 
         if self.model is None:
             raise TrainingError(
                 "enhanced pipeline processed a suspect flow before train()"
             )
+        stage_watch.restart()
         is_normal, neighbour, class_name = self.model.assess(record)
+        stage_watch.lap_into(self._metrics.nns_latency)
         if is_normal is None:
             is_normal = not self.config.flag_unmodelled_classes
         if is_normal:
@@ -238,7 +288,7 @@ class EnhancedInFilter:
                 neighbour=neighbour,
                 protocol_class=class_name,
                 absorbed=absorbed,
-                latency_s=time.perf_counter() - started,
+                latency_s=watch.elapsed_s(),
             )
         else:
             decision = self._attack(
@@ -246,19 +296,24 @@ class EnhancedInFilter:
                 eia,
                 Stage.NNS,
                 "nns-anomaly",
-                started,
+                watch,
                 scan=scan_verdict,
                 neighbour=neighbour,
                 protocol_class=class_name,
             )
-        self.stats.note(decision)
-        return decision
+        return self._record(decision)
 
     def process_all(self, records: Iterable[FlowRecord]) -> List[Decision]:
         """Convenience: assess a record stream, returning all decisions."""
         return [self.process(record) for record in records]
 
     # -- internals ------------------------------------------------------------
+
+    def _record(self, decision: Decision) -> Decision:
+        """Account one decision in both stats and the metrics registry."""
+        self.stats.note(decision)
+        self._metrics.note(decision)
+        return decision
 
     def _over_capacity(self, now_ms: int) -> bool:
         """The Section 6.3.2 saturation check, in flow time.
@@ -277,7 +332,7 @@ class EnhancedInFilter:
         rate = len(times) * 1000.0 / overload.window_ms
         return rate > overload.suspect_capacity_per_s
 
-    def _degraded(self, record: FlowRecord, eia: EIACheck, started: float) -> Decision:
+    def _degraded(self, record: FlowRecord, eia: EIACheck, watch: Stopwatch) -> Decision:
         """Handle an over-capacity suspect: drop or flag unanalysed."""
         overload = self.config.overload
         self._overload_counter += 1
@@ -286,15 +341,25 @@ class EnhancedInFilter:
         # tracks drop_fraction deterministically even for short bursts.
         if (self._overload_counter * 619) % 1000 < threshold:
             self.stats.overload_dropped += 1
+            self._metrics.overload_dropped.inc()
+            log.debug(
+                "overload: suspect dropped unanalysed",
+                extra={"flow_time_ms": record.last, "action": "dropped"},
+            )
             return Decision(
                 verdict=Verdict.BENIGN,
                 stage=Stage.OVERLOAD,
                 eia=eia,
-                latency_s=time.perf_counter() - started,
+                latency_s=watch.elapsed_s(),
             )
         self.stats.overload_flagged += 1
+        self._metrics.overload_flagged.inc()
+        log.debug(
+            "overload: suspect flagged unanalysed",
+            extra={"flow_time_ms": record.last, "action": "flagged"},
+        )
         return self._attack(
-            record, eia, Stage.OVERLOAD, "unanalysed-suspect", started
+            record, eia, Stage.OVERLOAD, "unanalysed-suspect", watch
         )
 
     def _attack(
@@ -303,7 +368,7 @@ class EnhancedInFilter:
         eia: EIACheck,
         stage: str,
         classification: str,
-        started: float,
+        watch: Stopwatch,
         *,
         scan: Optional[ScanVerdict] = None,
         neighbour: Optional[SearchResult] = None,
@@ -328,5 +393,5 @@ class EnhancedInFilter:
             neighbour=neighbour,
             protocol_class=protocol_class,
             alert=alert,
-            latency_s=time.perf_counter() - started,
+            latency_s=watch.elapsed_s(),
         )

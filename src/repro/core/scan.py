@@ -23,8 +23,11 @@ from typing import Deque, Dict, Optional, Tuple
 
 from repro.core.config import ScanConfig
 from repro.netflow.records import FlowRecord
+from repro.obs import MetricsRegistry, get_logger, get_registry
 
 __all__ = ["ScanVerdict", "ScanAnalyzer"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -76,13 +79,30 @@ class _MultiCounter:
 class ScanAnalyzer:
     """The Section 4.1 scan detector over a suspect-flow buffer."""
 
-    def __init__(self, config: ScanConfig = ScanConfig()) -> None:
+    def __init__(
+        self,
+        config: ScanConfig = ScanConfig(),
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config
         self._buffer: Deque[Tuple[int, int]] = deque()  # (dst_addr, dst_port)
         self._by_port = _MultiCounter()   # port -> hosts
         self._by_host = _MultiCounter()   # host -> ports
         self.network_scans_flagged = 0
         self.host_scans_flagged = 0
+        registry = registry if registry is not None else get_registry()
+        self._m_occupancy = registry.gauge(
+            "infilter_scan_buffer_occupancy",
+            "Suspect flows currently held in the scan analysis buffer.",
+        )
+        completions = registry.counter(
+            "infilter_scan_completions_total",
+            "Scan patterns completed (the flow that crossed the threshold).",
+            ("kind",),
+        )
+        self._m_network = completions.labels(kind=ScanVerdict.NETWORK)
+        self._m_host = completions.labels(kind=ScanVerdict.HOST)
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -96,15 +116,26 @@ class ScanAnalyzer:
             self._by_port.remove(old_port, old_addr)
             self._by_host.remove(old_addr, old_port)
         self._buffer.append((dst_addr, dst_port))
+        self._m_occupancy.set(len(self._buffer))
         hosts_on_port = self._by_port.add(dst_port, dst_addr)
         ports_on_host = self._by_host.add(dst_addr, dst_port)
         if hosts_on_port >= self.config.network_scan_threshold:
             self.network_scans_flagged += 1
+            self._m_network.inc()
+            log.info(
+                "network scan completed",
+                extra={"dst_port": dst_port, "distinct_hosts": hosts_on_port},
+            )
             return ScanVerdict(
                 is_scan=True, kind=ScanVerdict.NETWORK, count=hosts_on_port
             )
         if ports_on_host >= self.config.host_scan_threshold:
             self.host_scans_flagged += 1
+            self._m_host.inc()
+            log.info(
+                "host scan completed",
+                extra={"dst_addr": dst_addr, "distinct_ports": ports_on_host},
+            )
             return ScanVerdict(
                 is_scan=True, kind=ScanVerdict.HOST, count=ports_on_host
             )
@@ -115,3 +146,4 @@ class ScanAnalyzer:
         self._buffer.clear()
         self._by_port = _MultiCounter()
         self._by_host = _MultiCounter()
+        self._m_occupancy.set(0)

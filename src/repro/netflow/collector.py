@@ -12,13 +12,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Deque, Dict, List, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.netflow.records import FlowRecord
 from repro.netflow.v5 import V5Header, decode_datagram
+from repro.obs import MetricsRegistry, get_logger, get_registry
 from repro.util.errors import NetFlowError
 
 __all__ = ["CollectorStats", "FlowCollector", "PortMux"]
+
+log = get_logger(__name__)
 
 FlowSink = Callable[[FlowRecord], None]
 
@@ -46,7 +49,7 @@ class FlowCollector:
 
     DEDUPE_WINDOW = 64
 
-    def __init__(self) -> None:
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None) -> None:
         self._sinks: List[FlowSink] = []
         self._expected_seq: Dict[int, int] = {}
         self.stats = CollectorStats()
@@ -56,6 +59,31 @@ class FlowCollector:
         # re-deliver a datagram verbatim; replaying its records would
         # double-count flows, so they are dropped here.
         self._recent_seq: Dict[int, Deque[int]] = {}
+        registry = registry if registry is not None else get_registry()
+        self._m_datagrams = registry.counter(
+            "infilter_collector_datagrams_total",
+            "NetFlow v5 datagrams decoded successfully.",
+        )
+        self._m_records = registry.counter(
+            "infilter_collector_records_total",
+            "Flow records delivered to sinks.",
+        )
+        self._m_decode_errors = registry.counter(
+            "infilter_collector_decode_errors_total",
+            "Datagrams dropped because they failed to decode.",
+        )
+        self._m_lost_flows = registry.counter(
+            "infilter_collector_lost_flows_total",
+            "Flows inferred lost from flow_sequence gaps.",
+        )
+        self._m_sequence_resets = registry.counter(
+            "infilter_collector_sequence_resets_total",
+            "flow_sequence regressions (exporter restarts).",
+        )
+        self._m_duplicates = registry.counter(
+            "infilter_collector_duplicate_datagrams_total",
+            "Datagrams dropped as UDP re-deliveries.",
+        )
 
     def add_sink(self, sink: FlowSink) -> None:
         """Register a callback invoked once per collected record."""
@@ -78,15 +106,23 @@ class FlowCollector:
         """
         try:
             header, records = decode_datagram(data)
-        except NetFlowError:
+        except NetFlowError as error:
             self.stats.decode_errors += 1
+            self._m_decode_errors.inc()
+            log.warning(
+                "dropped undecodable datagram",
+                extra={"source": source, "reason": str(error)},
+            )
             return []
         if self._is_duplicate(source, header):
             self.stats.duplicates += 1
+            self._m_duplicates.inc()
             return []
         self._track_sequence(source, header)
         self.stats.datagrams += 1
         self.stats.records += len(records)
+        self._m_datagrams.inc()
+        self._m_records.inc(len(records))
         for record in records:
             self._deliver(record)
         return records
@@ -103,6 +139,7 @@ class FlowCollector:
     def ingest_records(self, records: List[FlowRecord]) -> None:
         """Bypass the wire format (already-decoded records)."""
         self.stats.records += len(records)
+        self._m_records.inc(len(records))
         for record in records:
             self._deliver(record)
 
@@ -116,9 +153,20 @@ class FlowCollector:
         expected = self._expected_seq.get(source)
         if expected is not None:
             if header.flow_sequence > expected:
-                self.stats.lost_flows += header.flow_sequence - expected
+                lost = header.flow_sequence - expected
+                self.stats.lost_flows += lost
+                self._m_lost_flows.inc(lost)
+                log.warning(
+                    "sequence gap: flows lost in transport",
+                    extra={"source": source, "lost": lost},
+                )
             elif header.flow_sequence < expected:
                 self.stats.sequence_resets += 1
+                self._m_sequence_resets.inc()
+                log.info(
+                    "sequence regression: exporter restart",
+                    extra={"source": source},
+                )
         self._expected_seq[source] = header.flow_sequence + header.count
 
 

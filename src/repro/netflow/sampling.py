@@ -17,9 +17,10 @@ routers renormalise.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 from repro.netflow.records import FlowRecord
+from repro.obs import MetricsRegistry, get_registry
 from repro.util.errors import ConfigError
 from repro.util.rng import SeededRng
 
@@ -55,25 +56,39 @@ def sample_records(
     interval: int,
     *,
     rng: SeededRng,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Iterator[FlowRecord]:
     """Apply 1-in-``interval`` packet sampling to a record stream.
 
     ``interval=1`` is the identity.  Octets scale proportionally to the
     surviving packet fraction, then both counters renormalise by
     ``interval`` (router behaviour: exported numbers estimate the true
-    traffic).
+    traffic).  Kept vs dropped flows are counted in
+    ``infilter_sampling_records_total``.
     """
     if interval < 1:
         raise ConfigError("sampling interval must be >= 1")
+    registry = registry if registry is not None else get_registry()
+    outcomes = registry.counter(
+        "infilter_sampling_records_total",
+        "Flow records surviving (kept) or erased by (dropped) sampling.",
+        ("outcome",),
+    )
+    kept = outcomes.labels(outcome="kept")
+    dropped = outcomes.labels(outcome="dropped")
     if interval == 1:
-        yield from records
+        for record in records:
+            kept.inc()
+            yield record
         return
     p = 1.0 / interval
     stream = rng.fork(f"sampling-{interval}")
     for record in records:
         seen = _binomial(record.packets, p, stream)
         if seen == 0:
+            dropped.inc()
             continue
+        kept.inc()
         octets_seen = max(1, int(record.octets * seen / record.packets))
         yield replace(
             record,

@@ -11,8 +11,9 @@ accounting and the detector respond to transport degradation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional
 
+from repro.obs import MetricsRegistry, get_registry
 from repro.util.errors import ConfigError
 from repro.util.rng import SeededRng
 
@@ -52,10 +53,27 @@ class ChannelStats:
 class UdpChannel:
     """A lossy, reordering, duplicating datagram path."""
 
-    def __init__(self, config: ChannelConfig, *, rng: SeededRng) -> None:
+    def __init__(
+        self,
+        config: ChannelConfig,
+        *,
+        rng: SeededRng,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config
         self._rng = rng.fork("udp-channel")
         self.stats = ChannelStats()
+        registry = registry if registry is not None else get_registry()
+        events = registry.counter(
+            "infilter_transport_datagrams_total",
+            "Datagram fates on the exporter-to-collector UDP path.",
+            ("event",),
+        )
+        self._m_sent = events.labels(event="sent")
+        self._m_delivered = events.labels(event="delivered")
+        self._m_lost = events.labels(event="lost")
+        self._m_duplicated = events.labels(event="duplicated")
+        self._m_reordered = events.labels(event="reordered")
 
     def transmit(self, datagrams: Iterable[bytes]) -> Iterator[bytes]:
         """Push datagrams through the channel, yielding what arrives.
@@ -67,12 +85,15 @@ class UdpChannel:
         held: List[bytes] = []
         for datagram in datagrams:
             self.stats.sent += 1
+            self._m_sent.inc()
             if self._rng.bernoulli(self.config.loss_probability):
                 self.stats.lost += 1
+                self._m_lost.inc()
                 continue
             out: List[bytes] = [datagram]
             if self._rng.bernoulli(self.config.duplicate_probability):
                 self.stats.duplicated += 1
+                self._m_duplicated.inc()
                 out.append(datagram)
             for item in out:
                 if held:
@@ -80,12 +101,16 @@ class UdpChannel:
                     yield item
                     yield held.pop()
                     self.stats.delivered += 2
+                    self._m_delivered.inc(2)
                 elif self._rng.bernoulli(self.config.reorder_probability):
                     self.stats.reordered += 1
+                    self._m_reordered.inc()
                     held.append(item)
                 else:
                     self.stats.delivered += 1
+                    self._m_delivered.inc()
                     yield item
         for item in held:
             self.stats.delivered += 1
+            self._m_delivered.inc()
             yield item

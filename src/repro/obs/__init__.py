@@ -1,0 +1,63 @@
+"""Observability: metrics registry, structured logging, timing, export.
+
+The operational layer the paper's Section 6 measurements imply: every
+component of the Enhanced InFilter data path publishes counters, gauges
+and latency histograms into a :class:`MetricsRegistry`, logs structured
+events through :func:`get_logger`, and the registry renders to
+Prometheus text or a JSON snapshot via :mod:`repro.obs.export`.
+
+Foundation-layer module: it imports only :mod:`repro.util` and is
+imported by every substrate above it.  The full metric catalogue lives
+in ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    load_snapshot,
+    load_snapshot_text,
+    render_json,
+    render_prometheus,
+    snapshot,
+)
+from repro.obs.logs import (
+    BASE_LOGGER,
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.registry import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.timing import Stopwatch, time_into
+
+__all__ = [
+    "load_snapshot",
+    "load_snapshot_text",
+    "render_json",
+    "render_prometheus",
+    "snapshot",
+    "BASE_LOGGER",
+    "JsonLinesFormatter",
+    "configure_logging",
+    "get_logger",
+    "reset_logging",
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Stopwatch",
+    "time_into",
+]

@@ -1,0 +1,186 @@
+"""Snapshot rendering: Prometheus text format and JSON.
+
+Two export surfaces over one :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`render_prometheus` — the text exposition format (``# HELP`` /
+  ``# TYPE`` headers, cumulative ``le`` histogram buckets) that any
+  Prometheus-compatible scraper or human can read;
+* :func:`snapshot` / :func:`render_json` — a JSON document that
+  round-trips through :func:`load_snapshot`, which is how the CLI's
+  ``--metrics-out file.json`` and the ``stats`` subcommand exchange a
+  run's metrics after the process has exited.
+
+Both renderings are deterministic for a given registry state (sorted
+families, sorted label sets), so snapshot files diff cleanly between
+runs — the property the benchmark suite relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "snapshot",
+    "load_snapshot",
+    "SNAPSHOT_VERSION",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def _format_value(value: float) -> str:
+    """Integers without a trailing ``.0``; floats with full precision."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labelnames: Tuple[str, ...], values: Tuple[str, ...],
+               extra: str = "") -> str:
+    parts = [
+        f'{name}="{value}"' for name, value in zip(labelnames, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.samples():
+            if isinstance(child, Histogram):
+                cumulative = 0
+                for edge, count in zip(child.buckets, child.bucket_counts):
+                    cumulative += count
+                    labels = _label_str(
+                        family.labelnames, values,
+                        f'le="{_format_value(edge)}"',
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                cumulative += child.bucket_counts[-1]
+                labels = _label_str(family.labelnames, values, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                plain = _label_str(family.labelnames, values)
+                lines.append(f"{family.name}_sum{plain} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{plain} {child.count}")
+            else:
+                labels = _label_str(family.labelnames, values)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry) -> Dict:
+    """The registry as a JSON-serialisable document."""
+    metrics = []
+    for family in registry.collect():
+        entry: Dict = {
+            "name": family.name,
+            "type": family.kind,
+            "help": family.help,
+            "labelnames": list(family.labelnames),
+        }
+        if isinstance(family, Histogram):
+            entry["buckets"] = list(family.buckets)
+            entry["samples"] = [
+                {
+                    "labels": list(values),
+                    "bucket_counts": list(child.bucket_counts),
+                    "sum": child.sum,
+                    "count": child.count,
+                }
+                for values, child in family.samples()
+            ]
+        else:
+            entry["samples"] = [
+                {"labels": list(values), "value": child.value}
+                for values, child in family.samples()
+            ]
+        metrics.append(entry)
+    return {"version": SNAPSHOT_VERSION, "metrics": metrics}
+
+
+def render_json(registry: MetricsRegistry, *, indent: int = 2) -> str:
+    """:func:`snapshot`, serialised."""
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True)
+
+
+def load_snapshot(document: Dict) -> MetricsRegistry:
+    """Rebuild a registry from a :func:`snapshot` document.
+
+    The inverse of :func:`snapshot`: ``snapshot(load_snapshot(doc)) ==
+    doc`` for any document this module produced.  Counters and gauges
+    restore their values; histograms restore bucket counts, sum and
+    count exactly.
+    """
+    version = document.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise MetricError(f"unsupported metrics snapshot version {version!r}")
+    registry = MetricsRegistry()
+    for entry in document.get("metrics", []):
+        name = entry["name"]
+        kind = entry["type"]
+        help_text = entry.get("help", "")
+        labelnames = tuple(entry.get("labelnames", ()))
+        if kind == "histogram":
+            family = registry.histogram(
+                name, help_text, labelnames, tuple(entry["buckets"])
+            )
+        elif kind == "counter":
+            family = registry.counter(name, help_text, labelnames)
+        elif kind == "gauge":
+            family = registry.gauge(name, help_text, labelnames)
+        else:
+            raise MetricError(f"unknown metric type {kind!r} for {name}")
+        for sample in entry.get("samples", []):
+            values = sample.get("labels", [])
+            child = (
+                family.labels(**dict(zip(labelnames, values)))
+                if labelnames
+                else family
+            )
+            if kind == "histogram":
+                counts = list(sample["bucket_counts"])
+                if len(counts) != len(family.buckets) + 1:
+                    raise MetricError(
+                        f"histogram {name} sample has {len(counts)} bucket"
+                        f" counts for {len(family.buckets)} edges"
+                    )
+                child.bucket_counts = counts
+                child.sum = float(sample["sum"])
+                child.count = int(sample["count"])
+            elif kind == "counter":
+                child.value = float(sample["value"])
+            else:
+                child.set(float(sample["value"]))
+    return registry
+
+
+def load_snapshot_text(text: str) -> MetricsRegistry:
+    """:func:`load_snapshot` over a serialised JSON document."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise MetricError(f"malformed metrics snapshot: {error}") from error
+    if not isinstance(document, dict):
+        raise MetricError("metrics snapshot must be a JSON object")
+    return load_snapshot(document)
+
+
+__all__.append("load_snapshot_text")

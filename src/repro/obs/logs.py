@@ -1,0 +1,117 @@
+"""Structured logging for the ``repro`` component tree.
+
+Everything logs through stdlib :mod:`logging` under the ``repro.``
+namespace; this module adds the two pieces an operator needs:
+
+* :func:`get_logger` — the per-module logger convention (pass
+  ``__name__``; anything outside the tree is prefixed so one
+  ``configure_logging`` call captures it all);
+* :class:`JsonLinesFormatter` — one JSON object per line, with any
+  ``extra={...}`` fields of the log call merged in, so decode errors,
+  overload events and absorptions are machine-parseable.
+
+By default the library is silent: a ``NullHandler`` sits on the base
+logger so importing the package never writes to stderr.  Call
+:func:`configure_logging` (or attach your own handler to ``"repro"``)
+to turn output on.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Optional, Union
+
+__all__ = [
+    "BASE_LOGGER",
+    "JsonLinesFormatter",
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+]
+
+BASE_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not payload; anything else on
+#: the record (i.e. passed via ``extra=``) is exported as a JSON field.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Render each record as one sorted-key JSON object.
+
+    Fields: ``ts`` (seconds since the epoch), ``level``, ``logger``,
+    ``msg`` (the formatted message), ``exc`` when exception info is
+    attached, plus every ``extra`` field of the logging call.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The logger for one module, always inside the ``repro`` tree."""
+    if name != BASE_LOGGER and not name.startswith(BASE_LOGGER + "."):
+        name = f"{BASE_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: Union[int, str] = logging.INFO,
+    *,
+    stream: Optional[IO[str]] = None,
+    path: Optional[str] = None,
+    json_lines: bool = True,
+) -> logging.Handler:
+    """Attach one handler to the ``repro`` base logger.
+
+    ``path`` wins over ``stream``; with neither, records go to stderr.
+    Repeated calls replace the previously configured handler rather than
+    stacking, so re-configuration in long sessions is safe.  Returns the
+    handler (callers may close/flush it).
+    """
+    reset_logging()
+    handler: logging.Handler
+    if path is not None:
+        handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(stream)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    handler._repro_configured = True  # type: ignore[attr-defined]
+    base = logging.getLogger(BASE_LOGGER)
+    base.addHandler(handler)
+    base.setLevel(level)
+    return handler
+
+
+def reset_logging() -> None:
+    """Detach handlers installed by :func:`configure_logging`."""
+    base = logging.getLogger(BASE_LOGGER)
+    for handler in list(base.handlers):
+        if getattr(handler, "_repro_configured", False):
+            base.removeHandler(handler)
+            handler.close()
+    base.setLevel(logging.NOTSET)
+
+
+# Silent by default: never let the stdlib "last resort" handler spray
+# library internals onto stderr of an un-configured application.
+logging.getLogger(BASE_LOGGER).addHandler(logging.NullHandler())

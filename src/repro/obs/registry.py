@@ -1,0 +1,355 @@
+"""The metrics registry: counters, gauges and latency histograms.
+
+A deliberately small, dependency-free re-implementation of the
+Prometheus client data model, sized for the Enhanced InFilter's
+operational surface (Section 6 of the paper reports per-flow latency and
+detection/false-positive rates an operator must be able to read live):
+
+* :class:`Counter` — monotone event counts (flows per verdict, decode
+  errors, alerts emitted);
+* :class:`Gauge` — point-in-time values (EIA set sizes, scan buffer
+  occupancy, experiment rates);
+* :class:`Histogram` — value distributions over **fixed** bucket edges,
+  used for per-stage latency so snapshots are comparable across runs.
+
+Metric families are registered once per name; re-registering with the
+same type, help text, labels (and buckets) returns the existing family,
+so independent components can share a metric without coordination.
+Everything renders deterministically: families sort by name, label sets
+by value tuple — two identical workloads produce byte-identical
+snapshots (see :mod:`repro.obs.export`).
+
+A process-wide default registry backs components that are not handed an
+explicit one; tests and CLI runs that need isolation swap it with
+:func:`set_registry` / :func:`use_registry`.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util.errors import ReproError
+
+__all__ = [
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_S",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+
+class MetricError(ReproError):
+    """Invalid metric name, labels, value, or conflicting registration."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency bucket edges, in seconds.  Chosen around the paper's
+#: Section 6.4 numbers (BI ~0.5 ms, EI 2-6 ms per flow) with headroom
+#: both ways; fixed so histograms from different runs line up.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.000_05, 0.000_1, 0.000_25, 0.000_5,
+    0.001, 0.002_5, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label):
+            raise MetricError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise MetricError(f"duplicate label names in {names!r}")
+    return names
+
+
+class _Family:
+    """Common machinery: a named metric with zero or more label children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Tuple[str, ...]) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labelnames(labelnames)
+        self._children: Dict[Tuple[str, ...], "_Family"] = {}
+        # The no-label family is its own single child.
+        if not self.labelnames:
+            self._children[()] = self
+
+    def labels(self, **labelvalues: object) -> "_Family":
+        """The child for one label-value combination (created on demand)."""
+        if not self.labelnames:
+            raise MetricError(f"metric {self.name} takes no labels")
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"metric {self.name} expects labels {self.labelnames},"
+                f" got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[label]) for label in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self) -> "_Family":
+        child = object.__new__(type(self))
+        child._init_child(self)
+        return child
+
+    def _init_child(self, parent: "_Family") -> None:
+        self.name = parent.name
+        self.help = parent.help
+        self.labelnames = ()
+        self._children = {(): self}
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], "_Family"]]:
+        """(label values, child) pairs in deterministic order."""
+        return sorted(self._children.items(), key=lambda item: item[0])
+
+    def _require_leaf(self) -> None:
+        if self.labelnames:
+            raise MetricError(
+                f"metric {self.name} has labels {self.labelnames};"
+                " call .labels(...) first"
+            )
+
+    def reset(self) -> None:
+        """Zero every child (registrations and label sets are kept)."""
+        for child in self._children.values():
+            child._zero()
+
+    def _zero(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Family):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self.value = 0.0
+
+    def _init_child(self, parent: _Family) -> None:
+        super()._init_child(parent)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_leaf()
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def _zero(self) -> None:
+        self.value = 0.0
+
+
+class Gauge(_Family):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self.value = 0.0
+
+    def _init_child(self, parent: _Family) -> None:
+        super()._init_child(parent)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self._require_leaf()
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_leaf()
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def _zero(self) -> None:
+        self.value = 0.0
+
+
+class Histogram(_Family):
+    """A distribution over fixed, finite bucket edges (plus +Inf).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the final
+    slot counts the overflow.  Rendering (:mod:`repro.obs.export`)
+    cumulates them into the Prometheus ``le`` convention.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Tuple[str, ...] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ) -> None:
+        edges = tuple(float(edge) for edge in buckets)
+        if not edges or any(b >= a for b, a in zip(edges, edges[1:])):
+            raise MetricError(
+                f"histogram {name} buckets must be a strictly increasing"
+                " non-empty sequence"
+            )
+        self.buckets = edges
+        super().__init__(name, help, labelnames)
+        self._zero()
+
+    def _init_child(self, parent: _Family) -> None:
+        super()._init_child(parent)
+        self.buckets = parent.buckets  # type: ignore[attr-defined]
+        self._zero()
+
+    def observe(self, value: float) -> None:
+        self._require_leaf()
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def _zero(self) -> None:
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Holds metric families; the unit of snapshot/export.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call registers the family, later calls with an *identical* signature
+    return it, and any mismatch (type, labels, buckets) raises
+    :class:`MetricError` — silent divergence between two components
+    claiming the same name is exactly what a metrics layer must prevent.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        family = self._families.get(name)
+        if family is None:
+            family = Histogram(name, help, tuple(labelnames), buckets)
+            self._families[name] = family
+            return family
+        self._check_match(family, Histogram, name, labelnames)
+        assert isinstance(family, Histogram)
+        if family.buckets != tuple(float(b) for b in buckets):
+            raise MetricError(
+                f"metric {name} already registered with buckets"
+                f" {family.buckets}"
+            )
+        return family
+
+    def _get_or_create(self, cls, name, help, labelnames) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = cls(name, help, tuple(labelnames))
+            self._families[name] = family
+            return family
+        self._check_match(family, cls, name, labelnames)
+        return family
+
+    @staticmethod
+    def _check_match(family: _Family, cls, name, labelnames) -> None:
+        if type(family) is not cls:
+            raise MetricError(
+                f"metric {name} already registered as a {family.kind}"
+            )
+        if family.labelnames != tuple(labelnames):
+            raise MetricError(
+                f"metric {name} already registered with labels"
+                f" {family.labelnames}"
+            )
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    def collect(self) -> List[_Family]:
+        """All families, sorted by name (the deterministic export order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations and label children."""
+        for family in self._families.values():
+            family.reset()
+
+    def unregister_all(self) -> None:
+        """Forget every family (a fresh registry without reallocating)."""
+        self._families.clear()
+
+
+# -- the process-default registry ---------------------------------------------
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the default registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the process default.
+
+    Components constructed inside the block (and not handed an explicit
+    registry) publish into it — how the CLI isolates one run's metrics.
+    """
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,59 @@
+"""Timing helpers: one clock, one elapsed computation.
+
+The pipeline used to compute ``time.perf_counter() - started`` at four
+independent return sites; :class:`Stopwatch` is the single place that
+subtraction now happens, so per-flow and per-stage latency measurements
+cannot drift apart.  :func:`time_into` is the context-manager form for
+bracketing a block and recording its duration straight into a
+:class:`~repro.obs.registry.Histogram`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.registry import Histogram
+
+__all__ = ["Stopwatch", "time_into"]
+
+
+class Stopwatch:
+    """A monotonic elapsed-time reading, started at construction."""
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+
+    def elapsed_s(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._started
+
+    def restart(self) -> float:
+        """Re-arm the stopwatch; returns the elapsed time it had measured."""
+        now = time.perf_counter()
+        elapsed = now - self._started
+        self._started = now
+        return elapsed
+
+    def lap_into(self, histogram: Histogram) -> float:
+        """Record the elapsed time into ``histogram`` and re-arm.
+
+        The per-stage timing primitive: one stopwatch laps through the
+        pipeline stages, each lap observed into that stage's histogram.
+        """
+        elapsed = self.restart()
+        histogram.observe(elapsed)
+        return elapsed
+
+
+@contextmanager
+def time_into(histogram: Histogram) -> Iterator[Stopwatch]:
+    """Observe the duration of the ``with`` block into ``histogram``."""
+    watch = Stopwatch()
+    try:
+        yield watch
+    finally:
+        histogram.observe(watch.elapsed_s())

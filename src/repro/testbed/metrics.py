@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import MetricsRegistry, get_registry
 
 __all__ = ["RunScore", "SeriesScore", "mean", "std"]
 
@@ -134,3 +136,34 @@ class SeriesScore:
                 entry[0] += detected
                 entry[1] += total
         return {name: (d, t) for name, (d, t) in sorted(table.items())}
+
+    def publish(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Export the series' headline rates as registry gauges.
+
+        The same numbers the paper plots: Figure 15's instance-level
+        detection rate, Figure 16's flow-level false-positive rate, and
+        the Section 6.4 mean latency — so benchmarks and the CLI can read
+        one experiment's outcome off the same surface as the live
+        pipeline counters.
+        """
+        registry = registry if registry is not None else get_registry()
+        registry.gauge(
+            "infilter_experiment_runs",
+            "Runs averaged into the published experiment gauges.",
+        ).set(len(self.runs))
+        registry.gauge(
+            "infilter_experiment_detection_rate",
+            "Fraction of launched attack instances detected (Figure 15).",
+        ).set(self.detection_rate)
+        registry.gauge(
+            "infilter_experiment_flow_detection_rate",
+            "Fraction of individual attack flows flagged.",
+        ).set(self.flow_detection_rate)
+        registry.gauge(
+            "infilter_experiment_false_positive_rate",
+            "Fraction of normal flows tagged suspicious (Figure 16).",
+        ).set(self.false_positive_rate)
+        registry.gauge(
+            "infilter_experiment_latency_mean_seconds",
+            "Mean per-flow processing latency across runs (Section 6.4).",
+        ).set(self.latency_mean_s)

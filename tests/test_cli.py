@@ -299,3 +299,100 @@ class TestExperiment:
         out = capsys.readouterr().out
         assert "detection=" in out
         assert "false_positives=" in out
+
+    def test_metrics_out_publishes_experiment_gauges(self, tmp_path, capsys):
+        metrics = tmp_path / "exp.prom"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "--flows", "200",
+                    "--training-flows", "800",
+                    "--runs", "1",
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        text = metrics.read_text()
+        assert "infilter_experiment_detection_rate" in text
+        assert "infilter_experiment_false_positive_rate" in text
+        assert "infilter_pipeline_flows_total" in text
+
+
+class TestStatsAndMetricsOut:
+    def test_detect_writes_prometheus_metrics(
+        self, tmp_path, plan_file, normal_file, capsys
+    ):
+        attack = tmp_path / "atk.bin"
+        metrics = tmp_path / "metrics.prom"
+        main(["synth", str(attack), "--attack", "slammer", "--spoof"])
+        assert (
+            main(
+                [
+                    "detect", str(attack), plan_file, "--basic",
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        text = metrics.read_text()
+        assert "# TYPE infilter_pipeline_flows_total counter" in text
+        assert 'verdict="attack"' in text
+        assert "infilter_pipeline_flow_latency_seconds_bucket" in text
+
+    def test_detect_writes_json_metrics(self, tmp_path, plan_file, capsys):
+        import json
+
+        attack = tmp_path / "atk.bin"
+        metrics = tmp_path / "metrics.json"
+        main(["synth", str(attack), "--attack", "slammer", "--spoof"])
+        assert (
+            main(
+                [
+                    "detect", str(attack), plan_file, "--basic",
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(metrics.read_text())
+        assert document["version"] == 1
+        names = {entry["name"] for entry in document["metrics"]}
+        assert "infilter_pipeline_flows_total" in names
+
+    def test_stats_rerenders_saved_snapshot(self, tmp_path, plan_file, capsys):
+        attack = tmp_path / "atk.bin"
+        metrics = tmp_path / "metrics.json"
+        main(["synth", str(attack), "--attack", "slammer", "--spoof"])
+        main(
+            [
+                "detect", str(attack), plan_file, "--basic",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE infilter_pipeline_flows_total counter" in out
+        assert main(["stats", str(metrics), "--format", "json"]) == 0
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document == json.loads(metrics.read_text())
+
+    def test_stats_missing_snapshot_errors(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_without_snapshot_uses_process_registry(self, capsys):
+        from repro.obs import get_registry
+
+        get_registry().counter(
+            "infilter_cli_test_total", "test counter"
+        ).inc()
+        try:
+            assert main(["stats"]) == 0
+            assert "infilter_cli_test_total 1" in capsys.readouterr().out
+        finally:
+            get_registry().unregister_all()

@@ -1,0 +1,215 @@
+"""Tests for snapshot rendering (Prometheus text, JSON) and logging."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    JsonLinesFormatter,
+    MetricError,
+    MetricsRegistry,
+    configure_logging,
+    get_logger,
+    load_snapshot,
+    load_snapshot_text,
+    render_json,
+    render_prometheus,
+    reset_logging,
+    snapshot,
+)
+
+
+@pytest.fixture
+def populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    flows = registry.counter(
+        "infilter_pipeline_flows_total", "Flows by verdict.", ("verdict", "stage")
+    )
+    flows.labels(verdict="legal", stage="eia").inc(100)
+    flows.labels(verdict="attack", stage="scan").inc(3)
+    registry.gauge("infilter_scan_buffer_occupancy", "Buffer depth.").set(42)
+    hist = registry.histogram(
+        "infilter_pipeline_stage_latency_seconds",
+        "Stage latency.",
+        ("stage",),
+        buckets=(0.001, 0.01),
+    )
+    hist.labels(stage="eia").observe(0.0005)
+    hist.labels(stage="eia").observe(0.005)
+    hist.labels(stage="eia").observe(0.5)
+    return registry
+
+
+class TestPrometheusText:
+    def test_help_and_type_headers(self, populated):
+        text = render_prometheus(populated)
+        assert "# HELP infilter_pipeline_flows_total Flows by verdict." in text
+        assert "# TYPE infilter_pipeline_flows_total counter" in text
+        assert "# TYPE infilter_scan_buffer_occupancy gauge" in text
+        assert "# TYPE infilter_pipeline_stage_latency_seconds histogram" in text
+
+    def test_counter_samples_with_labels(self, populated):
+        text = render_prometheus(populated)
+        assert (
+            'infilter_pipeline_flows_total{verdict="attack",stage="scan"} 3'
+            in text
+        )
+        assert (
+            'infilter_pipeline_flows_total{verdict="legal",stage="eia"} 100'
+            in text
+        )
+
+    def test_histogram_buckets_are_cumulative(self, populated):
+        lines = render_prometheus(populated).splitlines()
+        buckets = [
+            line for line in lines
+            if line.startswith("infilter_pipeline_stage_latency_seconds_bucket")
+        ]
+        assert buckets == [
+            'infilter_pipeline_stage_latency_seconds_bucket{stage="eia",le="0.001"} 1',
+            'infilter_pipeline_stage_latency_seconds_bucket{stage="eia",le="0.01"} 2',
+            'infilter_pipeline_stage_latency_seconds_bucket{stage="eia",le="+Inf"} 3',
+        ]
+        assert (
+            'infilter_pipeline_stage_latency_seconds_count{stage="eia"} 3'
+            in lines
+        )
+
+    def test_integer_values_render_without_decimal(self, populated):
+        text = render_prometheus(populated)
+        assert "infilter_scan_buffer_occupancy 42\n" in text
+        assert "42.0" not in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonRoundTrip:
+    def test_snapshot_load_snapshot_identity(self, populated):
+        document = snapshot(populated)
+        rebuilt = load_snapshot(document)
+        assert snapshot(rebuilt) == document
+        assert render_prometheus(rebuilt) == render_prometheus(populated)
+
+    def test_text_round_trip(self, populated):
+        text = render_json(populated)
+        rebuilt = load_snapshot_text(text)
+        assert render_json(rebuilt) == text
+
+    def test_json_is_valid_and_sorted(self, populated):
+        document = json.loads(render_json(populated))
+        names = [entry["name"] for entry in document["metrics"]]
+        assert names == sorted(names)
+        assert document["version"] == 1
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(MetricError):
+            load_snapshot({"version": 999, "metrics": []})
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(MetricError):
+            load_snapshot_text("not json{")
+        with pytest.raises(MetricError):
+            load_snapshot_text("[1, 2]")
+
+    def test_histogram_bucket_count_mismatch_rejected(self, populated):
+        document = snapshot(populated)
+        for entry in document["metrics"]:
+            if entry["type"] == "histogram":
+                entry["samples"][0]["bucket_counts"] = [1]
+        with pytest.raises(MetricError):
+            load_snapshot(document)
+
+
+class TestLogging:
+    def teardown_method(self):
+        reset_logging()
+
+    def test_silent_by_default(self, capsys):
+        get_logger("repro.quiet").warning("should not appear on stderr")
+        # NullHandler on the base logger keeps lastResort out of the way;
+        # pytest's capture would see anything written to stderr.
+        assert "should not appear" not in capsys.readouterr().err
+
+    def test_json_lines_output(self):
+        buffer = io.StringIO()
+        configure_logging("DEBUG", stream=buffer)
+        get_logger("repro.core.pipeline").info(
+            "overload", extra={"action": "dropped", "flow_time_ms": 123}
+        )
+        payload = json.loads(buffer.getvalue())
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.core.pipeline"
+        assert payload["msg"] == "overload"
+        assert payload["action"] == "dropped"
+        assert payload["flow_time_ms"] == 123
+        assert isinstance(payload["ts"], float)
+
+    def test_get_logger_prefixes_foreign_names(self):
+        assert get_logger("myapp").name == "repro.myapp"
+        assert get_logger("repro.core.eia").name == "repro.core.eia"
+
+    def test_level_filtering(self):
+        buffer = io.StringIO()
+        configure_logging("WARNING", stream=buffer)
+        get_logger("repro.test").info("filtered out")
+        get_logger("repro.test").warning("kept")
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["msg"] == "kept"
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging("INFO", stream=first)
+        configure_logging("INFO", stream=second)
+        get_logger("repro.test").info("hello")
+        assert first.getvalue() == ""
+        assert "hello" in second.getvalue()
+
+    def test_plain_format_option(self):
+        buffer = io.StringIO()
+        configure_logging("INFO", stream=buffer, json_lines=False)
+        get_logger("repro.test").info("plain message")
+        assert "plain message" in buffer.getvalue()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(buffer.getvalue())
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        configure_logging("INFO", path=str(path))
+        get_logger("repro.test").info("to file", extra={"k": "v"})
+        reset_logging()
+        payload = json.loads(path.read_text())
+        assert payload["k"] == "v"
+
+    def test_exception_info_included(self):
+        buffer = io.StringIO()
+        configure_logging("INFO", stream=buffer)
+        try:
+            raise ValueError("bad flow")
+        except ValueError:
+            get_logger("repro.test").exception("failed")
+        payload = json.loads(buffer.getvalue())
+        assert payload["level"] == "ERROR"
+        assert "ValueError: bad flow" in payload["exc"]
+
+    def test_reset_is_idempotent_and_scoped(self):
+        # A handler the user installed themselves must survive reset.
+        base = logging.getLogger("repro")
+        own = logging.NullHandler()
+        base.addHandler(own)
+        try:
+            configure_logging("INFO", stream=io.StringIO())
+            reset_logging()
+            reset_logging()
+            assert own in base.handlers
+            assert not any(
+                getattr(h, "_repro_configured", False) for h in base.handlers
+            )
+        finally:
+            base.removeHandler(own)

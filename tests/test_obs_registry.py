@@ -1,0 +1,242 @@
+"""Tests for the metrics registry (counters, gauges, histograms, labels)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS_S,
+    MetricError,
+    MetricsRegistry,
+    Stopwatch,
+    get_registry,
+    render_json,
+    render_prometheus,
+    set_registry,
+    time_into,
+    use_registry,
+)
+from repro.util import SeededRng
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("c_total", "help")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self, registry):
+        counter = registry.counter("c_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_label_children_are_independent(self, registry):
+        counter = registry.counter("c_total", "", ("verdict",))
+        counter.labels(verdict="legal").inc(2)
+        counter.labels(verdict="attack").inc()
+        assert counter.labels(verdict="legal").value == 2
+        assert counter.labels(verdict="attack").value == 1
+
+    def test_labelled_family_rejects_direct_inc(self, registry):
+        counter = registry.counter("c_total", "", ("verdict",))
+        with pytest.raises(MetricError):
+            counter.inc()
+
+    def test_wrong_label_names_rejected(self, registry):
+        counter = registry.counter("c_total", "", ("verdict",))
+        with pytest.raises(MetricError):
+            counter.labels(stage="eia")
+
+    def test_unlabelled_family_rejects_labels(self, registry):
+        counter = registry.counter("c_total")
+        with pytest.raises(MetricError):
+            counter.labels(verdict="legal")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_can_go_negative(self, registry):
+        gauge = registry.gauge("g")
+        gauge.dec(3)
+        assert gauge.value == -3
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 99.0):
+            hist.observe(value)
+        # bucket_counts are per-bin: <=1, <=2, <=5, overflow
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(106.0)
+
+    def test_edge_values_are_inclusive(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(2.0)
+        assert hist.bucket_counts == [0, 1, 0]
+
+    def test_buckets_must_increase(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            registry.histogram("h2", buckets=())
+
+    def test_default_buckets_cover_paper_latencies(self, registry):
+        # Section 6.4: BI ~0.5 ms, EI 2-6 ms — both must fall inside the
+        # finite edges, not in the overflow bin.
+        assert LATENCY_BUCKETS_S[0] < 0.0005 < LATENCY_BUCKETS_S[-1]
+        assert LATENCY_BUCKETS_S[0] < 0.006 < LATENCY_BUCKETS_S[-1]
+
+    def test_labelled_histogram(self, registry):
+        hist = registry.histogram("h", "", ("stage",), buckets=(1.0,))
+        hist.labels(stage="eia").observe(0.5)
+        hist.labels(stage="nns").observe(2.0)
+        assert hist.labels(stage="eia").bucket_counts == [1, 0]
+        assert hist.labels(stage="nns").bucket_counts == [0, 1]
+
+
+class TestRegistration:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("c_total", "help", ("a",))
+        second = registry.counter("c_total", "help", ("a",))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("m")
+        with pytest.raises(MetricError):
+            registry.gauge("m")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("m", "", ("a",))
+        with pytest.raises(MetricError):
+            registry.counter("m", "", ("b",))
+
+    def test_bucket_conflict_rejected(self, registry):
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(MetricError):
+            registry.counter("has space")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "", ("bad-label",))
+
+    def test_reset_zeroes_but_keeps_registrations(self, registry):
+        counter = registry.counter("c_total", "", ("k",))
+        counter.labels(k="x").inc(7)
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        registry.reset()
+        assert counter.labels(k="x").value == 0
+        assert hist.count == 0 and hist.bucket_counts == [0, 0]
+        assert "c_total" in registry and "h" in registry
+
+
+class TestDefaultRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        original = get_registry()
+        scoped = MetricsRegistry()
+        with use_registry(scoped) as active:
+            assert active is scoped
+            assert get_registry() is scoped
+        assert get_registry() is original
+
+    def test_set_registry_returns_previous(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert previous is original
+            assert get_registry() is replacement
+        finally:
+            set_registry(original)
+
+
+class TestDeterminism:
+    def _run_workload(self, seed: int) -> str:
+        """A SeededRng-driven workload; identical seeds must render
+        byte-identical snapshots."""
+        rng = SeededRng(seed, "obs-workload")
+        registry = MetricsRegistry()
+        flows = registry.counter("flows_total", "", ("verdict", "stage"))
+        latency = registry.histogram("latency_seconds", "", ("stage",))
+        verdicts = ["legal", "benign", "attack"]
+        stages = ["eia", "scan", "nns"]
+        for _ in range(500):
+            verdict = rng.choice(verdicts)
+            stage = rng.choice(stages)
+            flows.labels(verdict=verdict, stage=stage).inc()
+            latency.labels(stage=stage).observe(rng.random() * 0.01)
+        return render_prometheus(registry) + render_json(registry)
+
+    def test_identical_seeds_identical_snapshots(self):
+        assert self._run_workload(11) == self._run_workload(11)
+
+    def test_different_seeds_differ(self):
+        assert self._run_workload(11) != self._run_workload(12)
+
+    def test_insertion_order_does_not_matter(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("one_total").inc()
+        a.gauge("two").set(2)
+        b.gauge("two").set(2)
+        b.counter("one_total").inc()
+        assert render_prometheus(a) == render_prometheus(b)
+        assert render_json(a) == render_json(b)
+
+
+class TestTiming:
+    def test_stopwatch_elapsed_monotone(self):
+        watch = Stopwatch()
+        first = watch.elapsed_s()
+        second = watch.elapsed_s()
+        assert 0 <= first <= second
+
+    def test_restart_rearms(self):
+        watch = Stopwatch()
+        elapsed = watch.restart()
+        assert elapsed >= 0
+        assert watch.elapsed_s() <= elapsed + 1.0  # fresh epoch
+
+    def test_lap_into_observes_and_rearms(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(10.0,))
+        watch = Stopwatch()
+        watch.lap_into(hist)
+        watch.lap_into(hist)
+        assert hist.count == 2
+        assert hist.bucket_counts[-1] == 0  # both laps well under 10 s
+
+    def test_time_into_context_manager(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(10.0,))
+        with time_into(hist):
+            pass
+        assert hist.count == 1
+
+    def test_time_into_records_on_exception(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(10.0,))
+        with pytest.raises(RuntimeError):
+            with time_into(hist):
+                raise RuntimeError("boom")
+        assert hist.count == 1
