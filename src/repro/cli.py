@@ -5,7 +5,9 @@
 * ``infilter synth``      — synthesise traffic (normal or an attack) into a flow file;
 * ``infilter report``     — flow-report style statistics over a flow file;
 * ``infilter detect``     — run the Enhanced InFilter over a flow file and
-  emit IDMEF alerts (plus a trace-back summary);
+  emit IDMEF alerts (plus a trace-back summary); ``--shards`` /
+  ``--batch-size`` / ``--engine-mode`` route the run through the sharded
+  batch ingest engine (:mod:`repro.engine`) with identical verdicts;
 * ``infilter validate``   — run the Section 3 hypothesis-validation studies;
 * ``infilter experiment`` — run one Section 6.3 experiment point;
 * ``infilter convert``    — convert flow files between binary and ASCII;
@@ -220,13 +222,39 @@ def _run_detect(args: argparse.Namespace) -> int:
                 print("error: no training flows available", file=sys.stderr)
                 return 2
             detector.train(training)
-    attacks = 0
-    for record in records:
-        decision = detector.process(record)
-        if decision.is_attack:
-            attacks += 1
-            if args.idmef:
-                print(decision.alert.to_xml())
+    engine_report = None
+    use_engine = (
+        args.shards is not None
+        or args.batch_size is not None
+        or args.engine_mode is not None
+    )
+    if use_engine:
+        from repro.engine import EngineConfig, ShardedIngestEngine
+
+        engine = ShardedIngestEngine(
+            detector,
+            EngineConfig(
+                shards=args.shards if args.shards is not None else 1,
+                batch_size=(
+                    args.batch_size if args.batch_size is not None else 256
+                ),
+                mode=args.engine_mode if args.engine_mode is not None else "auto",
+            ),
+        )
+        with engine:
+            engine_report = engine.run(records)
+        attacks = detector.stats.attacks
+        if args.idmef:
+            for alert in detector.alert_sink.alerts:
+                print(alert.to_xml())
+    else:
+        attacks = 0
+        for record in records:
+            decision = detector.process(record)
+            if decision.is_attack:
+                attacks += 1
+                if args.idmef:
+                    print(decision.alert.to_xml())
     stats = detector.stats
     print(
         f"processed {stats.processed} flows:"
@@ -235,6 +263,11 @@ def _run_detect(args: argparse.Namespace) -> int:
         f" (mean latency {stats.mean_latency_s * 1e3:.3f} ms)",
         file=sys.stderr if args.idmef else sys.stdout,
     )
+    if engine_report is not None:
+        print(
+            engine_report.describe(),
+            file=sys.stderr if args.idmef else sys.stdout,
+        )
     analyzer = TracebackAnalyzer()
     analyzer.consume_all(detector.alert_sink.alerts)
     if len(analyzer):
@@ -515,6 +548,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         help="write the run's metrics snapshot (.json = JSON, else Prometheus text)",
+    )
+    detect.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run through the sharded batch ingest engine with N shards",
+    )
+    detect.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="records per engine batch (implies the engine; default 256)",
+    )
+    detect.add_argument(
+        "--engine-mode",
+        choices=("auto", "inline", "process"),
+        default=None,
+        help="engine execution mode (implies the engine; default auto)",
     )
     detect.set_defaults(handler=_cmd_detect)
 

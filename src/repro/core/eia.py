@@ -94,11 +94,11 @@ class BasicInFilter:
 
     def __init__(
         self,
-        config: EIAConfig = EIAConfig(),
+        config: Optional[EIAConfig] = None,
         *,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.config = config
+        self.config = config if config is not None else EIAConfig()
         self._sets: Dict[int, EIASet] = {}
         self._owner: PrefixTrie[int] = PrefixTrie()
         # (peer, block) -> benign observations, for the learning rule.
@@ -198,28 +198,38 @@ class BasicInFilter:
         count = self._pending.get(key, 0) + 1
         if count >= self.config.learning_threshold:
             self._pending.pop(key, None)
-            eia = self.ensure_peer(peer)
-            # Absorption *moves* the block: the old owner no longer expects
-            # it, reflecting that the route genuinely changed.
-            previous = self.expected_peer_for(block.network)
-            if previous is not None and previous != peer:
-                self._sets[previous].discard(block)
-                self._m_blocks.labels(peer=previous).set(
-                    len(self._sets[previous])
-                )
-            self._insert(eia, block)
-            self._m_absorptions.inc()
-            log.info(
-                "EIA absorption: block moved to peer",
-                extra={
-                    "block": str(block),
-                    "peer": peer,
-                    "previous_peer": previous,
-                },
-            )
+            self.apply_absorption(peer, block)
             return True
         self._pending[key] = count
         return False
+
+    def apply_absorption(self, peer: int, block: Prefix) -> Optional[int]:
+        """Absorb ``block`` into ``peer``'s EIA set, returning the old owner.
+
+        Absorption *moves* the block: the old owner no longer expects it,
+        reflecting that the route genuinely changed.  Exposed so shard
+        replicas (``repro.engine``) can replay absorption deltas decided
+        by the authoritative detector without re-running the learning
+        rule.
+        """
+        eia = self.ensure_peer(peer)
+        previous = self.expected_peer_for(block.network)
+        if previous is not None and previous != peer:
+            self._sets[previous].discard(block)
+            self._m_blocks.labels(peer=previous).set(
+                len(self._sets[previous])
+            )
+        self._insert(eia, block)
+        self._m_absorptions.inc()
+        log.info(
+            "EIA absorption: block moved to peer",
+            extra={
+                "block": str(block),
+                "peer": peer,
+                "previous_peer": previous,
+            },
+        )
+        return previous
 
     def pending_counts(self) -> Dict[Tuple[int, Prefix], int]:
         """Snapshot of not-yet-absorbed source observations (for tests)."""

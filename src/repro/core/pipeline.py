@@ -18,12 +18,13 @@ suspect — the paper's BI configuration.  Attacks produce IDMEF alerts.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.alerts import AlertSink, IdmefAlert
-from repro.core.clusters import ClusterModel
+from repro.core.clusters import ClusterModel, protocol_class
 from repro.core.config import PipelineConfig
 from repro.core.eia import BasicInFilter, EIACheck
 from repro.core.nns import SearchResult
@@ -31,9 +32,23 @@ from repro.core.scan import ScanAnalyzer, ScanVerdict
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, Stopwatch, get_logger, get_registry
 from repro.util.errors import TrainingError
+from repro.util.ip import Prefix
 from repro.util.rng import SeededRng
 
-__all__ = ["Verdict", "Stage", "Decision", "PipelineStats", "EnhancedInFilter"]
+__all__ = [
+    "Verdict",
+    "Stage",
+    "Decision",
+    "NnsAssessment",
+    "BatchResult",
+    "PipelineStats",
+    "EnhancedInFilter",
+]
+
+#: Seed of the reservoir-sampling RNG in :class:`PipelineStats`.  A fixed
+#: constant keeps two identical runs byte-identical while still sampling
+#: the whole stream uniformly.
+_RESERVOIR_SEED = 0x1FF17E5
 
 log = get_logger(__name__)
 
@@ -74,6 +89,35 @@ class Decision:
         return self.verdict == Verdict.ATTACK
 
 
+@dataclass(frozen=True)
+class NnsAssessment:
+    """A precomputed NNS-stage result for one flow.
+
+    ``ClusterModel.assess`` is a pure function of (trained model, flow),
+    so its result may be computed ahead of time — by a shard worker in
+    :mod:`repro.engine` — and handed to :meth:`EnhancedInFilter.process_batch`,
+    which then skips the expensive search for that flow.
+    """
+
+    is_normal: Optional[bool]
+    neighbour: Optional[SearchResult]
+    protocol_class: str
+
+
+@dataclass
+class BatchResult:
+    """What :meth:`EnhancedInFilter.process_batch` concluded about a batch."""
+
+    decisions: List[Decision]
+    #: (peer, block) EIA absorptions triggered while committing the batch,
+    #: in commit order — the delta stream shard replicas replay.
+    absorbed: List[Tuple[int, Prefix]]
+    elapsed_s: float = 0.0
+    #: NNS-stage demand met by caller-supplied speculation vs computed here.
+    speculation_hits: int = 0
+    speculation_misses: int = 0
+
+
 @dataclass
 class PipelineStats:
     """Operational counters, including per-flow processing latency."""
@@ -89,17 +133,36 @@ class PipelineStats:
     overload_flagged: int = 0
     latency_total_s: float = 0.0
     latency_max_s: float = 0.0
-    #: per-flow latency samples for percentile queries, capped to bound
-    #: memory on long runs (the mean/max above are exact regardless).
+    #: per-flow latency samples for percentile queries.  A bounded
+    #: uniform reservoir (algorithm R) over the whole run, so percentiles
+    #: reflect the entire stream, not its first ``latency_sample_cap``
+    #: flows (the mean/max above are exact regardless).
     latency_samples: List[float] = field(default_factory=list)
     latency_sample_cap: int = 100_000
+    #: flows offered to the reservoir so far (== processed unless stats
+    #: objects were merged from shards).
+    latency_samples_seen: int = 0
+    _reservoir_rng: random.Random = field(
+        default_factory=lambda: random.Random(_RESERVOIR_SEED),
+        repr=False,
+        compare=False,
+    )
+
+    def sample_latency(self, latency_s: float) -> None:
+        """Offer one per-flow latency to the bounded uniform reservoir."""
+        self.latency_samples_seen += 1
+        if len(self.latency_samples) < self.latency_sample_cap:
+            self.latency_samples.append(latency_s)
+            return
+        slot = self._reservoir_rng.randrange(self.latency_samples_seen)
+        if slot < self.latency_sample_cap:
+            self.latency_samples[slot] = latency_s
 
     def note(self, decision: Decision) -> None:
         self.processed += 1
         self.latency_total_s += decision.latency_s
         self.latency_max_s = max(self.latency_max_s, decision.latency_s)
-        if len(self.latency_samples) < self.latency_sample_cap:
-            self.latency_samples.append(decision.latency_s)
+        self.sample_latency(decision.latency_s)
         if decision.verdict == Verdict.LEGAL:
             self.legal += 1
             return
@@ -184,14 +247,16 @@ class EnhancedInFilter:
 
     def __init__(
         self,
-        config: PipelineConfig = PipelineConfig(),
+        config: Optional[PipelineConfig] = None,
         *,
         alert_sink: Optional[AlertSink] = None,
         rng: Optional[SeededRng] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        config = config if config is not None else PipelineConfig()
         self.config = config
         registry = registry if registry is not None else get_registry()
+        self.registry = registry
         self._metrics = _PipelineMetrics(registry)
         self.infilter = BasicInFilter(config.eia, registry=registry)
         self.scan = ScanAnalyzer(config.scan, registry=registry)
@@ -208,6 +273,12 @@ class EnhancedInFilter:
         # and a counter driving the deterministic drop/flag split.
         self._suspect_times: deque = deque()
         self._overload_counter = 0
+        # Batch-path memo of NNS assessments, keyed by (protocol class,
+        # unary encoding).  Valid across batches because the trained model
+        # is immutable; bounded by _NNS_MEMO_CAP.
+        self._nns_memo: Dict[Tuple[str, int], NnsAssessment] = {}
+
+    _NNS_MEMO_CAP = 65_536
 
     # -- training-phase entry points (Section 5.1.3 modes a-d) -------------
 
@@ -227,6 +298,7 @@ class EnhancedInFilter:
         self.model = ClusterModel.train(
             records, self.config.nns, rng=self._rng.fork("model")
         )
+        self._nns_memo.clear()
 
     # -- online operation (mode e) ------------------------------------------
 
@@ -307,6 +379,169 @@ class EnhancedInFilter:
         """Convenience: assess a record stream, returning all decisions."""
         return [self.process(record) for record in records]
 
+    def process_batch(
+        self,
+        records: Sequence[FlowRecord],
+        *,
+        speculation: Optional[Sequence[Optional[NnsAssessment]]] = None,
+    ) -> BatchResult:
+        """Assess a batch of flows with amortised overhead.
+
+        Decision-equivalent to calling :meth:`process` on each record in
+        order — same verdicts, stages, absorptions, and alerts — but the
+        bookkeeping differs in three deliberate ways:
+
+        * one stopwatch brackets the batch; every decision carries the
+          batch's *mean* per-flow latency instead of its own measurement
+          (the Section 6.4 per-flow numbers come from :meth:`process`);
+        * per-stage latency histograms receive no samples (their per-flow
+          laps are exactly the overhead this path removes);
+        * the EIA check is memoised per (source, ingress) within the
+          batch — invalidated whenever an absorption rewrites the sets —
+          and NNS assessments are memoised across batches per (protocol
+          class, unary encoding), both of which are pure given the state
+          they key on.
+
+        ``speculation``, when given, must align with ``records``; entries
+        are :class:`NnsAssessment` results precomputed by shard workers
+        (see :mod:`repro.engine`) and are trusted because the trained
+        model is immutable.  Missing entries fall back to the memo or an
+        inline search, so speculation quality affects speed, never
+        outcomes.
+        """
+        if speculation is not None and len(speculation) != len(records):
+            raise ValueError(
+                f"speculation length {len(speculation)} does not match"
+                f" batch length {len(records)}"
+            )
+        watch = Stopwatch()
+        decisions: List[Decision] = []
+        absorbed: List[Tuple[int, Prefix]] = []
+        eia_memo: Dict[Tuple[int, int], EIACheck] = {}
+        spec_hits = 0
+        spec_misses = 0
+        granularity = self.config.eia.granularity
+        for index, record in enumerate(records):
+            memo_key = (record.key.src_addr, record.key.input_if)
+            eia = eia_memo.get(memo_key)
+            if eia is None:
+                eia = self.infilter.check(record)
+                eia_memo[memo_key] = eia
+            if not eia.suspect:
+                decisions.append(
+                    Decision(verdict=Verdict.LEGAL, stage=Stage.EIA, eia=eia)
+                )
+                continue
+            if not self.config.enhanced:
+                decisions.append(
+                    self._attack(record, eia, Stage.EIA, "spoofed-source", None)
+                )
+                continue
+            if self._over_capacity(record.last):
+                decisions.append(self._degraded(record, eia, None))
+                continue
+            scan_verdict = self.scan.observe(record)
+            if scan_verdict.is_scan:
+                decisions.append(
+                    self._attack(
+                        record,
+                        eia,
+                        Stage.SCAN,
+                        scan_verdict.kind or "scan",
+                        None,
+                        scan=scan_verdict,
+                    )
+                )
+                continue
+            if self.model is None:
+                raise TrainingError(
+                    "enhanced pipeline processed a suspect flow before train()"
+                )
+            assessment = speculation[index] if speculation is not None else None
+            if assessment is not None:
+                spec_hits += 1
+            else:
+                spec_misses += 1
+                assessment = self._assess_memoised(record)
+            is_normal = assessment.is_normal
+            if is_normal is None:
+                is_normal = not self.config.flag_unmodelled_classes
+            if is_normal:
+                absorbed_now = self.infilter.note_benign(record)
+                if absorbed_now:
+                    absorbed.append(
+                        (
+                            record.key.input_if,
+                            Prefix.from_address(record.key.src_addr, granularity),
+                        )
+                    )
+                    # Ownership moved; every memoised check may be stale.
+                    eia_memo.clear()
+                decisions.append(
+                    Decision(
+                        verdict=Verdict.BENIGN,
+                        stage=Stage.NNS,
+                        eia=eia,
+                        scan=scan_verdict,
+                        neighbour=assessment.neighbour,
+                        protocol_class=assessment.protocol_class,
+                        absorbed=absorbed_now,
+                    )
+                )
+            else:
+                decisions.append(
+                    self._attack(
+                        record,
+                        eia,
+                        Stage.NNS,
+                        "nns-anomaly",
+                        None,
+                        scan=scan_verdict,
+                        neighbour=assessment.neighbour,
+                        protocol_class=assessment.protocol_class,
+                    )
+                )
+        elapsed = watch.elapsed_s()
+        share = elapsed / len(records) if records else 0.0
+        verdict_stage_counts: Dict[Tuple[str, str], int] = {}
+        for decision in decisions:
+            object.__setattr__(decision, "latency_s", share)
+            self.stats.note(decision)
+            key = (decision.verdict, decision.stage)
+            verdict_stage_counts[key] = verdict_stage_counts.get(key, 0) + 1
+        for (verdict, stage), count in verdict_stage_counts.items():
+            self._metrics.flows.labels(verdict=verdict, stage=stage).inc(count)
+        self._metrics.flow_latency.observe_many(share, len(records))
+        return BatchResult(
+            decisions=decisions,
+            absorbed=absorbed,
+            elapsed_s=elapsed,
+            speculation_hits=spec_hits,
+            speculation_misses=spec_misses,
+        )
+
+    def _assess_memoised(self, record: FlowRecord) -> NnsAssessment:
+        """NNS assessment through the (class, encoding) memo.
+
+        Equivalent to ``self.model.assess(record)``: the search is a pure
+        function of the immutable trained model and the flow's unary
+        encoding, so two flows that bin identically share one search.
+        """
+        name = protocol_class(record)
+        subcluster = self.model.subclusters.get(name)
+        if subcluster is None:
+            return NnsAssessment(None, None, name)
+        encoded = self.model.encoder.encode(record.stats())
+        key = (name, encoded)
+        assessment = self._nns_memo.get(key)
+        if assessment is None:
+            if len(self._nns_memo) >= self._NNS_MEMO_CAP:
+                self._nns_memo.clear()
+            is_normal, neighbour = subcluster.assess(encoded)
+            assessment = NnsAssessment(is_normal, neighbour, name)
+            self._nns_memo[key] = assessment
+        return assessment
+
     # -- internals ------------------------------------------------------------
 
     def _record(self, decision: Decision) -> Decision:
@@ -332,7 +567,9 @@ class EnhancedInFilter:
         rate = len(times) * 1000.0 / overload.window_ms
         return rate > overload.suspect_capacity_per_s
 
-    def _degraded(self, record: FlowRecord, eia: EIACheck, watch: Stopwatch) -> Decision:
+    def _degraded(
+        self, record: FlowRecord, eia: EIACheck, watch: Optional[Stopwatch]
+    ) -> Decision:
         """Handle an over-capacity suspect: drop or flag unanalysed."""
         overload = self.config.overload
         self._overload_counter += 1
@@ -350,7 +587,7 @@ class EnhancedInFilter:
                 verdict=Verdict.BENIGN,
                 stage=Stage.OVERLOAD,
                 eia=eia,
-                latency_s=watch.elapsed_s(),
+                latency_s=watch.elapsed_s() if watch is not None else 0.0,
             )
         self.stats.overload_flagged += 1
         self._metrics.overload_flagged.inc()
@@ -368,7 +605,7 @@ class EnhancedInFilter:
         eia: EIACheck,
         stage: str,
         classification: str,
-        watch: Stopwatch,
+        watch: Optional[Stopwatch],
         *,
         scan: Optional[ScanVerdict] = None,
         neighbour: Optional[SearchResult] = None,
@@ -393,5 +630,5 @@ class EnhancedInFilter:
             neighbour=neighbour,
             protocol_class=protocol_class,
             alert=alert,
-            latency_s=watch.elapsed_s(),
+            latency_s=watch.elapsed_s() if watch is not None else 0.0,
         )

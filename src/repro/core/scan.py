@@ -81,11 +81,11 @@ class ScanAnalyzer:
 
     def __init__(
         self,
-        config: ScanConfig = ScanConfig(),
+        config: Optional[ScanConfig] = None,
         *,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.config = config
+        self.config = config if config is not None else ScanConfig()
         self._buffer: Deque[Tuple[int, int]] = deque()  # (dst_addr, dst_port)
         self._by_port = _MultiCounter()   # port -> hosts
         self._by_host = _MultiCounter()   # host -> ports

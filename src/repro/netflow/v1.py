@@ -111,9 +111,12 @@ def decode_v1_datagram(data: bytes) -> Tuple[int, List[FlowRecord]]:
     if count == 0 or count > MAX_V1_RECORDS:
         raise NetFlowDecodeError(f"record count {count} out of range")
     expected = V1_HEADER_LEN + count * V1_RECORD_LEN
-    if len(data) < expected:
+    if len(data) != expected:
+        # Same contract as v5: the count field must describe the payload
+        # exactly; both truncation and trailing bytes are decode errors.
         raise NetFlowDecodeError(
-            f"datagram truncated: header claims {count} records"
+            f"datagram length mismatch: header claims {count} records"
+            f" ({expected} bytes) but payload is {len(data)} bytes"
         )
     records: List[FlowRecord] = []
     offset = V1_HEADER_LEN

@@ -156,9 +156,11 @@ def decode_datagram(data: bytes) -> Tuple[V5Header, List[FlowRecord]]:
     if count == 0 or count > MAX_RECORDS_PER_DATAGRAM:
         raise NetFlowDecodeError(f"record count {count} out of range")
     expected = HEADER_LEN + count * RECORD_LEN
-    if len(data) < expected:
+    if len(data) != expected:
+        # A datagram is a complete unit: trailing bytes mean the count
+        # field lies about the payload just as surely as truncation does.
         raise NetFlowDecodeError(
-            f"datagram truncated: header claims {count} records"
+            f"datagram length mismatch: header claims {count} records"
             f" ({expected} bytes) but payload is {len(data)} bytes"
         )
     header = V5Header(
