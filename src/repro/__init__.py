@@ -27,6 +27,8 @@ Quick start::
     decision = detector.process(flow_record)
 """
 
+from __future__ import annotations
+
 from repro.core import (
     AlertSink,
     BasicInFilter,

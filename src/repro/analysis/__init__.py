@@ -1,0 +1,36 @@
+"""Static analysis for the reproduction's own invariants.
+
+The sharded engine's serial-equivalence guarantee, the measurement
+studies' bit-for-bit replays and the decoder's robustness contract all
+rest on conventions — simulated time, seeded randomness, one error
+taxonomy, guarded parsing — that Python will not enforce by itself.
+``repro.analysis`` is an AST linter (stdlib only) that does:
+
+>>> from repro.analysis import run
+>>> run(["src"])
+[]
+
+Operationally it is the ``infilter lint`` subcommand; in CI it gates
+every change next to the tier-1 tests and ``mypy --strict``.  The rule
+catalogue, the pragma escape hatch and the recipe for adding a rule live
+in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PragmaTable, parse_pragmas
+from repro.analysis.rules import ALL_RULES, RULE_IDS, ModuleInfo, Rule
+from repro.analysis.runner import iter_python_files, run
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleInfo",
+    "PragmaTable",
+    "RULE_IDS",
+    "Rule",
+    "iter_python_files",
+    "parse_pragmas",
+    "run",
+]

@@ -1,0 +1,45 @@
+"""The unit of linter output.
+
+A :class:`Finding` is one violated invariant at one source location.  The
+runner returns findings sorted by path, line and rule so output is stable
+across runs and platforms — CI diffs and the self-clean test depend on
+that determinism just as much as the pipeline depends on seeded RNGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    #: rule identifier, e.g. ``"REP002"`` (``"REP000"`` for linter-internal
+    #: problems: unparsable files, malformed pragmas, unknown rule ids).
+    rule: str
+    #: path as given to the runner (kept relative when the input was).
+    path: str
+    #: 1-based source line of the offending node.
+    line: int
+    #: what invariant was violated and how to fix it.
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready form (the ``infilter lint --format json`` record)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line: RULE message``."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"

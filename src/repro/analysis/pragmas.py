@@ -1,0 +1,141 @@
+"""In-source suppression pragmas.
+
+A call site that deliberately breaks an invariant carries a pragma naming
+the rule it is allowed to break, so every exception is visible and
+greppable at the point of use::
+
+    rng = random.Random(seed)  # repro: allow[REP002] -- verbatim paper stream
+
+A pragma suppresses the named rules on its own line, or — when written as
+a standalone comment — on the next source line (for statements whose node
+starts past a line-length budget).  An ``allow-file`` pragma comment (the
+same grammar with ``allow-file[...]`` in place of ``allow[...]``) widens
+the scope to the whole module and is meant for files that *implement* an
+escape hatch, such as the linter's own fixtures.
+
+Unknown rule ids and malformed pragmas are reported as ``REP000`` findings
+rather than silently ignored: a typo in a suppression must not become a
+silent hole in the gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["PragmaTable", "parse_pragmas"]
+
+#: Pragmas share one grammar — a comment reading ``repro:`` then
+#: ``allow[RULES]`` or ``allow-file[RULES]`` with RULES a comma-separated
+#: list of rule ids.  Trailing prose after the closing bracket is welcome
+#: (use it to justify the exception).
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<kind>allow(?:-file)?)\[(?P<rules>[^\]]*)\]")
+#: Anything that *looks* like a pragma attempt but fails the grammar above.
+_ATTEMPT_RE = re.compile(r"#\s*repro:")
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass
+class PragmaTable:
+    """Parsed suppressions for one file."""
+
+    #: rules allowed for the entire file.
+    file_rules: FrozenSet[str] = frozenset()
+    #: line -> rules allowed on that line.
+    line_rules: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: malformed/unknown pragmas, reported alongside rule findings.
+    errors: List[Finding] = field(default_factory=list)
+
+    def allows(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, frozenset())
+
+
+def _is_comment_only(line: str) -> bool:
+    stripped = line.strip()
+    return stripped.startswith("#")
+
+
+def parse_pragmas(path: str, source: str, known_rules: FrozenSet[str]) -> PragmaTable:
+    """Extract the suppression table from raw source text.
+
+    Pragmas live in comments, so a plain regex over physical lines is
+    accurate enough — the only false positives would be pragma-shaped text
+    inside string literals, and writing one of those in this codebase
+    means you are writing linter fixtures, where `allow-file` applies.
+    """
+    table = PragmaTable()
+    file_rules: Set[str] = set()
+    lines = source.splitlines()
+    for number, text in enumerate(lines, start=1):
+        matches = list(_PRAGMA_RE.finditer(text))
+        if not matches:
+            if _ATTEMPT_RE.search(text):
+                table.errors.append(
+                    Finding(
+                        rule="REP000",
+                        path=path,
+                        line=number,
+                        message=(
+                            "malformed pragma: expected a comment reading"
+                            " 'repro: allow[REPnnn,...]'"
+                            " or 'repro: allow-file[REPnnn,...]'"
+                        ),
+                    )
+                )
+            continue
+        for match in matches:
+            rules, errors = _parse_rule_list(
+                path, number, match.group("rules"), known_rules
+            )
+            table.errors.extend(errors)
+            if match.group("kind") == "allow-file":
+                file_rules.update(rules)
+                continue
+            targets = [number]
+            # A standalone pragma comment covers the statement that
+            # follows it.
+            if _is_comment_only(text) and number < len(lines) + 1:
+                targets.append(number + 1)
+            for target in targets:
+                merged = set(table.line_rules.get(target, frozenset()))
+                merged.update(rules)
+                table.line_rules[target] = frozenset(merged)
+    table.file_rules = frozenset(file_rules)
+    return table
+
+
+def _parse_rule_list(
+    path: str, line: int, raw: str, known_rules: FrozenSet[str]
+) -> Tuple[Set[str], List[Finding]]:
+    rules: Set[str] = set()
+    errors: List[Finding] = []
+    for token in raw.split(","):
+        rule = token.strip()
+        if not rule:
+            continue
+        if not _RULE_ID_RE.match(rule) or rule not in known_rules:
+            errors.append(
+                Finding(
+                    rule="REP000",
+                    path=path,
+                    line=line,
+                    message=f"pragma names unknown rule {rule!r}",
+                )
+            )
+            continue
+        rules.add(rule)
+    if not rules and not errors:
+        errors.append(
+            Finding(
+                rule="REP000",
+                path=path,
+                line=line,
+                message="pragma allows no rules (empty rule list)",
+            )
+        )
+    return rules, errors

@@ -1,0 +1,136 @@
+"""Discovering files, applying rules, filtering suppressions.
+
+:func:`run` is the whole programmatic surface: hand it paths (files or
+directories), get back a sorted list of findings.  The CLI, the CI gate
+and the self-clean test all call this one function, so they cannot drift
+apart on discovery or suppression semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.rules import ALL_RULES, RULE_IDS, ModuleInfo
+from repro.util.errors import ConfigError
+
+__all__ = ["run", "iter_python_files"]
+
+#: directory names never descended into.
+_SKIP_DIRS = frozenset({".git", "__pycache__", ".mypy_cache", ".pytest_cache"})
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories.
+
+    Directories are walked in sorted order so findings come out in a
+    stable order on every platform.  A path that does not exist raises
+    :class:`~repro.util.errors.ConfigError` — a typo'd CI invocation must
+    fail loudly, not lint nothing and pass.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ConfigError(f"lint path does not exist: {raw}")
+        if path.is_file():
+            yield path
+            continue
+        for child in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in child.parts):
+                continue
+            yield child
+
+
+def _is_test_file(path: Path) -> bool:
+    if any(part in ("tests", "test") for part in path.parts):
+        return True
+    return path.name.startswith("test_") or path.name == "conftest.py"
+
+
+def _normalise_selection(
+    raw: Optional[Iterable[str]], option: str
+) -> Optional[FrozenSet[str]]:
+    if raw is None:
+        return None
+    selection: Set[str] = set()
+    for item in raw:
+        for rule in item.split(","):
+            rule = rule.strip().upper()
+            if not rule:
+                continue
+            if rule not in RULE_IDS:
+                raise ConfigError(
+                    f"{option} names unknown rule {rule!r};"
+                    f" known rules: {', '.join(sorted(RULE_IDS))}"
+                )
+            selection.add(rule)
+    return frozenset(selection)
+
+
+def run(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint ``paths`` and return all surviving findings, sorted.
+
+    ``select`` restricts checking to the listed rule ids; ``ignore``
+    drops the listed ids after checking.  Pragma suppressions (see
+    :mod:`repro.analysis.pragmas`) apply in either mode, and pragma
+    *errors* surface as ``REP000`` findings subject to the same
+    select/ignore filtering.
+    """
+    selected = _normalise_selection(select, "--select")
+    ignored = _normalise_selection(ignore, "--ignore") or frozenset()
+
+    def wanted(rule_id: str) -> bool:
+        if rule_id in ignored:
+            return False
+        return selected is None or rule_id in selected
+
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        reported = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            if wanted("REP000"):
+                findings.append(
+                    Finding("REP000", reported, 1, f"unreadable file: {error}")
+                )
+            continue
+        try:
+            tree = ast.parse(source, filename=reported)
+        except SyntaxError as error:
+            if wanted("REP000"):
+                findings.append(
+                    Finding(
+                        "REP000",
+                        reported,
+                        error.lineno or 1,
+                        f"syntax error: {error.msg}",
+                    )
+                )
+            continue
+        info = ModuleInfo(
+            path=reported,
+            posix=path.resolve().as_posix(),
+            source=source,
+            tree=tree,
+            is_test=_is_test_file(path),
+        )
+        pragmas = parse_pragmas(reported, source, RULE_IDS)
+        if wanted("REP000"):
+            findings.extend(pragmas.errors)
+        for rule in ALL_RULES:
+            if not wanted(rule.id) or not rule.applies_to(info):
+                continue
+            for finding in rule.check(info):
+                if not pragmas.allows(finding.rule, finding.line):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings

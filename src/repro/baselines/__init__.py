@@ -1,5 +1,7 @@
 """Comparison baselines: uRPF, history-based filtering, signature IDS."""
 
+from __future__ import annotations
+
 from repro.baselines.comparison import BASELINE_NAMES, compare_baselines
 from repro.baselines.history_filter import HistoryFilter, HistoryFilterConfig
 from repro.baselines.signature_ids import (

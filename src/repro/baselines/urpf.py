@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.netflow.records import FlowRecord
+from repro.util.errors import ConfigError
 from repro.util.ip import Prefix, PrefixTrie
 from repro.util.rng import SeededRng
 
@@ -62,7 +63,7 @@ def asymmetric_fib(
     assumption between large networks.
     """
     if not 0.0 <= asymmetry <= 1.0:
-        raise ValueError("asymmetry must be a fraction")
+        raise ConfigError("asymmetry must be a fraction")
     peers = sorted(ingress_plan)
     fib: PrefixTrie = PrefixTrie()
     for peer in peers:

@@ -418,11 +418,11 @@ def _cmd_expand(args: argparse.Namespace) -> int:
     addresses = [(r.key.src_addr, r.key.dst_addr) for r in records]
     index = {"i": -1}
 
-    def src_for(_flow):
+    def src_for(_flow: object) -> int:
         index["i"] += 1
         return addresses[index["i"]][0]
 
-    def dst_for(_flow):
+    def dst_for(_flow: object) -> int:
         return addresses[index["i"]][1]
 
     packets = packets_from_flows(
@@ -480,6 +480,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(render_prometheus(registry), end="")
     return 0
+
+
+# -- lint ---------------------------------------------------------------------
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import ALL_RULES, run as run_lint
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+    findings = run_lint(args.paths, select=args.select, ignore=args.ignore)
+    if args.format == "json":
+        print(json.dumps([finding.to_dict() for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
 
 
 # -- anonymize ---------------------------------------------------------------
@@ -651,6 +674,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("prometheus", "json"), default="prometheus"
     )
     stats.set_defaults(handler=_cmd_stats)
+
+    lint = commands.add_parser(
+        "lint", help="check the codebase's determinism/robustness invariants"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only run the listed rules (repeatable, comma-separable)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="drop findings from the listed rules (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     anonymize = commands.add_parser(
         "anonymize", help="prefix-preserving address anonymization"

@@ -1,5 +1,7 @@
 """The Enhanced InFilter detector: EIA sets, Scan Analysis, NNS, pipeline."""
 
+from __future__ import annotations
+
 from repro.core.alerts import AlertSink, IdmefAlert, parse_idmef
 from repro.core.deployment import BorderRouter, Deployment
 from repro.core.persistence import load_detector, save_detector

@@ -25,7 +25,7 @@ from repro.core.traceback import IngressReport, TracebackAnalyzer
 from repro.netflow.collector import FlowCollector, PortMux
 from repro.netflow.exporter import ExporterConfig, FlowExporter, Packet
 from repro.netflow.records import FlowRecord
-from repro.netflow.transport import ChannelConfig, UdpChannel
+from repro.netflow.transport import ChannelConfig, ChannelStats, UdpChannel
 from repro.netflow.v5 import datagrams_for
 from repro.util.errors import ConfigError, ExperimentError
 from repro.util.ip import Prefix
@@ -190,6 +190,6 @@ class Deployment:
     def ingress_report(self) -> IngressReport:
         return self.traceback.report()
 
-    def channel_stats(self):
+    def channel_stats(self) -> Optional[ChannelStats]:
         """Transport impairment counters (None without a channel)."""
         return self._channel.stats if self._channel is not None else None

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import List, Optional, TextIO, Union
+from typing import Any, Dict, List, Optional, TextIO, Union
 
 from repro.core.config import (
     EIAConfig,
@@ -45,7 +45,7 @@ __all__ = ["save_detector", "load_detector", "STATE_FORMAT_VERSION"]
 STATE_FORMAT_VERSION = 1
 
 
-def _config_to_dict(config: PipelineConfig) -> dict:
+def _config_to_dict(config: PipelineConfig) -> Dict[str, Any]:
     return {
         "eia": asdict(config.eia),
         "scan": asdict(config.scan),
@@ -64,7 +64,7 @@ def _config_to_dict(config: PipelineConfig) -> dict:
     }
 
 
-def _config_from_dict(data: dict) -> PipelineConfig:
+def _config_from_dict(data: Dict[str, Any]) -> PipelineConfig:
     return PipelineConfig(
         eia=EIAConfig(**data["eia"]),
         scan=ScanConfig(**data["scan"]),

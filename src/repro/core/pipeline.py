@@ -18,7 +18,6 @@ suspect — the paper's BI configuration.  Attacks produce IDMEF alerts.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -31,7 +30,7 @@ from repro.core.nns import SearchResult
 from repro.core.scan import ScanAnalyzer, ScanVerdict
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, Stopwatch, get_logger, get_registry
-from repro.util.errors import TrainingError
+from repro.util.errors import ConfigError, EngineError, TrainingError
 from repro.util.ip import Prefix
 from repro.util.rng import SeededRng
 
@@ -142,8 +141,11 @@ class PipelineStats:
     #: flows offered to the reservoir so far (== processed unless stats
     #: objects were merged from shards).
     latency_samples_seen: int = 0
-    _reservoir_rng: random.Random = field(
-        default_factory=lambda: random.Random(_RESERVOIR_SEED),
+    # SeededRng(seed) draws the same stream as the random.Random(seed)
+    # used before the REP002 migration, so reservoir contents (and the
+    # serial-equivalence tests over them) are unchanged.
+    _reservoir_rng: SeededRng = field(
+        default_factory=lambda: SeededRng(_RESERVOIR_SEED, "latency-reservoir"),
         repr=False,
         compare=False,
     )
@@ -184,7 +186,7 @@ class PipelineStats:
     def latency_percentile(self, quantile: float) -> float:
         """Latency at the given quantile in [0, 1] over the sampled flows."""
         if not 0.0 <= quantile <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
+            raise ConfigError("quantile must be in [0, 1]")
         if not self.latency_samples:
             return 0.0
         ordered = sorted(self.latency_samples)
@@ -282,7 +284,7 @@ class EnhancedInFilter:
 
     # -- training-phase entry points (Section 5.1.3 modes a-d) -------------
 
-    def preload_eia(self, peer: int, prefixes: Iterable) -> None:
+    def preload_eia(self, peer: int, prefixes: Iterable[Prefix]) -> None:
         """Mode (a), by hand: assign expected blocks to a peer AS."""
         self.infilter.preload(peer, prefixes)
 
@@ -410,7 +412,7 @@ class EnhancedInFilter:
         outcomes.
         """
         if speculation is not None and len(speculation) != len(records):
-            raise ValueError(
+            raise EngineError(
                 f"speculation length {len(speculation)} does not match"
                 f" batch length {len(records)}"
             )

@@ -14,6 +14,8 @@ serial pipeline's for any shard count, batch size, or execution mode.
     print(report.describe())
 """
 
+from __future__ import annotations
+
 from repro.engine.core import EngineConfig, ShardedIngestEngine
 from repro.engine.merge import EngineReport, merge_registries, merge_stats
 from repro.engine.router import ShardRouter

@@ -39,7 +39,10 @@ from __future__ import annotations
 import os
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
 
 from repro.core.pipeline import (
     BatchResult,
@@ -124,7 +127,7 @@ class _PendingBatch:
         self.parts = parts
 
 
-def _fork_context():
+def _fork_context() -> Optional[BaseContext]:
     """The ``fork`` multiprocessing context, or None where unsupported."""
     import multiprocessing
 
@@ -254,7 +257,7 @@ class ShardedIngestEngine:
             return MODE_PROCESS
         return MODE_INLINE
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> None:
         if self._pool is None:
             context = _fork_context()
             template = DetectorTemplate.from_detector(self.detector)

@@ -16,12 +16,12 @@ Three merge surfaces:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.pipeline import PipelineStats
 from repro.obs import Histogram, MetricsRegistry, snapshot
+from repro.util.rng import SeededRng
 
 __all__ = ["merge_stats", "merge_registries", "EngineReport"]
 
@@ -64,7 +64,10 @@ def merge_stats(parts: Sequence[PipelineStats]) -> PipelineStats:
             )
         samples.extend(part.latency_samples)
     if len(samples) > merged.latency_sample_cap:
-        rng = random.Random(_MERGE_SEED)
+        # SeededRng(seed) draws the same stream as the random.Random(seed)
+        # this used before the REP002 migration, so merged percentiles
+        # are unchanged across the refactor.
+        rng = SeededRng(_MERGE_SEED, "stats-merge")
         samples = rng.sample(samples, merged.latency_sample_cap)
     merged.latency_samples = samples
     return merged
@@ -132,7 +135,7 @@ class EngineReport:
     stats: PipelineStats
     #: merged shard-worker registry snapshot (replica EIA/scan metrics
     #: plus worker speculation counters); empty when speculation was off.
-    worker_metrics: Dict = field(default_factory=dict)
+    worker_metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def speculation_hit_rate(self) -> float:
@@ -155,7 +158,7 @@ class EngineReport:
         stats: PipelineStats,
         worker_registries: Sequence[MetricsRegistry] = (),
     ) -> "EngineReport":
-        worker_metrics: Dict = {}
+        worker_metrics: Dict[str, object] = {}
         if worker_registries:
             worker_metrics = snapshot(merge_registries(worker_registries))
         return cls(

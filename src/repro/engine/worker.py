@@ -36,6 +36,7 @@ from repro.core.config import PipelineConfig
 from repro.core.pipeline import EnhancedInFilter, NnsAssessment
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, snapshot
+from repro.util.errors import EngineError
 from repro.util.ip import Prefix
 
 __all__ = ["DetectorTemplate", "ShardWorker", "SpeculationResult"]
@@ -187,7 +188,7 @@ def _pool_speculate(
     worker = _POOL_WORKERS.get(shard)
     if worker is None:
         if _POOL_TEMPLATE is None:
-            raise RuntimeError("pool process used before its initializer ran")
+            raise EngineError("pool process used before its initializer ran")
         worker = _POOL_WORKERS[shard] = ShardWorker(shard, _POOL_TEMPLATE)
     worker.catch_up(deltas)
     result = worker.speculate(records)

@@ -1,5 +1,7 @@
 """Traffic generation: address plan, traces, attacks, Dagflow replay."""
 
+from __future__ import annotations
+
 from repro.flowgen.addressing import (
     PUBLIC_SLASH8_BLOCKS,
     Allocation,

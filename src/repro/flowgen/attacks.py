@@ -34,7 +34,25 @@ from repro.netflow.records import (
 from repro.util.errors import ConfigError
 from repro.util.rng import SeededRng
 
-__all__ = ["ATTACK_NAMES", "STEALTHY_ATTACKS", "generate_attack", "attack_catalog"]
+__all__ = [
+    "ATTACK_NAMES",
+    "STEALTHY_ATTACKS",
+    "generate_attack",
+    "attack_catalog",
+    "puke",
+    "jolt",
+    "teardrop",
+    "slammer",
+    "tfn2k",
+    "synflood",
+    "network_scan",
+    "host_scan",
+    "http_exploit",
+    "ftp_exploit",
+    "smtp_exploit",
+    "dns_exploit",
+    "rst_storm",
+]
 
 AttackGenerator = Callable[[SeededRng, int], List[TraceFlow]]
 

@@ -26,7 +26,7 @@ from typing import BinaryIO, Iterable, List, Sequence, Union
 from repro.flowgen.traces import TraceFlow
 from repro.netflow.exporter import ExporterConfig, FlowExporter, Packet
 from repro.netflow.records import PROTO_TCP, TCP_ACK, TCP_FIN, TCP_SYN, FlowKey, FlowRecord
-from repro.util.errors import NetFlowDecodeError
+from repro.util.errors import NetFlowDecodeError, RecordError
 from repro.util.rng import SeededRng
 
 __all__ = [
@@ -58,9 +58,9 @@ class DagPacket:
 
     def __post_init__(self) -> None:
         if self.length <= 0:
-            raise ValueError("packet length must be positive")
+            raise RecordError("packet length must be positive")
         if self.timestamp_us < 0:
-            raise ValueError("timestamp cannot be negative")
+            raise RecordError("timestamp cannot be negative")
 
 
 def write_dag(

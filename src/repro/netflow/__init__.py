@@ -1,5 +1,7 @@
 """NetFlow v5 substrate: records, wire format, exporter, collector, reports."""
 
+from __future__ import annotations
+
 from repro.netflow.collector import CollectorStats, FlowCollector, PortMux
 from repro.netflow.exporter import ExporterConfig, FlowExporter, Packet
 from repro.netflow.anonymize import PrefixPreservingAnonymizer

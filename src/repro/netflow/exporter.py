@@ -28,7 +28,7 @@ from repro.netflow.records import (
     FlowKey,
     FlowRecord,
 )
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, RecordError
 
 __all__ = ["Packet", "ExporterConfig", "FlowExporter"]
 
@@ -44,7 +44,7 @@ class Packet:
 
     def __post_init__(self) -> None:
         if self.length <= 0:
-            raise ValueError("packet length must be positive")
+            raise RecordError("packet length must be positive")
 
 
 @dataclass(frozen=True)

@@ -86,6 +86,10 @@ def _pack_record(record: FlowRecord) -> bytes:
 
 
 def _unpack_record(buffer: bytes, offset: int) -> FlowRecord:
+    if len(buffer) < offset + _RECORD.size:
+        raise NetFlowDecodeError(
+            f"flow record at offset {offset} extends past the buffer end"
+        )
     (
         src_addr,
         dst_addr,
@@ -121,9 +125,10 @@ def _unpack_record(buffer: bytes, offset: int) -> FlowRecord:
 
 
 def _build_record(
-    src_addr, dst_addr, next_hop, input_if, output_if, packets, octets,
-    first, last, src_port, dst_port, tcp_flags, protocol, tos, src_as,
-    dst_as, src_mask, dst_mask,
+    src_addr: int, dst_addr: int, next_hop: int, input_if: int,
+    output_if: int, packets: int, octets: int, first: int, last: int,
+    src_port: int, dst_port: int, tcp_flags: int, protocol: int,
+    tos: int, src_as: int, dst_as: int, src_mask: int, dst_mask: int,
 ) -> FlowRecord:
     return FlowRecord(
         key=FlowKey(

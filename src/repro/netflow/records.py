@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import ClassVar, Tuple
 
+from repro.util.errors import RecordError
+
 __all__ = [
     "PROTO_ICMP",
     "PROTO_TCP",
@@ -105,11 +107,11 @@ class FlowRecord:
 
     def __post_init__(self) -> None:
         if self.packets <= 0:
-            raise ValueError("a flow record must cover at least one packet")
+            raise RecordError("a flow record must cover at least one packet")
         if self.octets <= 0:
-            raise ValueError("a flow record must cover at least one octet")
+            raise RecordError("a flow record must cover at least one octet")
         if self.last < self.first:
-            raise ValueError("flow end precedes flow start")
+            raise RecordError("flow end precedes flow start")
 
     def duration_ms(self) -> int:
         """Flow duration in milliseconds."""

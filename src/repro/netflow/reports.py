@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.netflow.records import FlowRecord
+from repro.util.errors import ConfigError
 from repro.util.ip import format_ipv4
 
 __all__ = ["GROUP_FIELDS", "GroupStats", "FlowReport", "build_report"]
@@ -84,7 +85,7 @@ class FlowReport:
     def top(self, count: int, key: str = "octets") -> List[Tuple[Tuple[int, ...], GroupStats]]:
         """The ``count`` largest groups by the given statistic."""
         if key not in {"octets", "packets", "flows", "duration_ms"}:
-            raise ValueError(f"cannot rank groups by {key!r}")
+            raise ConfigError(f"cannot rank groups by {key!r}")
         ranked = sorted(
             self.groups.items(),
             key=lambda item: getattr(item[1], key),
@@ -200,7 +201,7 @@ def build_report(
         try:
             extractors.append(GROUP_FIELDS[name])
         except KeyError:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown grouping field {name!r};"
                 f" expected one of {sorted(GROUP_FIELDS)}"
             ) from None

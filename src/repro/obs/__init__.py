@@ -11,6 +11,8 @@ imported by every substrate above it.  The full metric catalogue lives
 in ``docs/observability.md``.
 """
 
+from __future__ import annotations
+
 from repro.obs.export import (
     load_snapshot,
     load_snapshot_text,

@@ -33,6 +33,7 @@ __all__ = [
     "render_json",
     "snapshot",
     "load_snapshot",
+    "load_snapshot_text",
     "SNAPSHOT_VERSION",
 ]
 
@@ -86,11 +87,11 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def snapshot(registry: MetricsRegistry) -> Dict:
+def snapshot(registry: MetricsRegistry) -> Dict[str, object]:
     """The registry as a JSON-serialisable document."""
     metrics = []
     for family in registry.collect():
-        entry: Dict = {
+        entry: Dict[str, object] = {
             "name": family.name,
             "type": family.kind,
             "help": family.help,
@@ -121,7 +122,7 @@ def render_json(registry: MetricsRegistry, *, indent: int = 2) -> str:
     return json.dumps(snapshot(registry), indent=indent, sort_keys=True)
 
 
-def load_snapshot(document: Dict) -> MetricsRegistry:
+def load_snapshot(document: Dict[str, object]) -> MetricsRegistry:
     """Rebuild a registry from a :func:`snapshot` document.
 
     The inverse of :func:`snapshot`: ``snapshot(load_snapshot(doc)) ==
@@ -181,6 +182,3 @@ def load_snapshot_text(text: str) -> MetricsRegistry:
     if not isinstance(document, dict):
         raise MetricError("metrics snapshot must be a JSON object")
     return load_snapshot(document)
-
-
-__all__.append("load_snapshot_text")

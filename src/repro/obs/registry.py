@@ -29,7 +29,17 @@ from __future__ import annotations
 import re
 from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 from repro.util.errors import ReproError
 
@@ -52,6 +62,8 @@ class MetricError(ReproError):
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_FamilyT = TypeVar("_FamilyT", bound="_Family")
 
 #: Default latency bucket edges, in seconds.  Chosen around the paper's
 #: Section 6.4 numbers (BI ~0.5 ms, EI 2-6 ms per flow) with headroom
@@ -301,17 +313,29 @@ class MetricsRegistry:
             )
         return family
 
-    def _get_or_create(self, cls, name, help, labelnames) -> _Family:
+    def _get_or_create(
+        self,
+        cls: Type[_FamilyT],
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+    ) -> _FamilyT:
         family = self._families.get(name)
         if family is None:
-            family = cls(name, help, tuple(labelnames))
-            self._families[name] = family
-            return family
+            created = cls(name, help, tuple(labelnames))
+            self._families[name] = created
+            return created
         self._check_match(family, cls, name, labelnames)
+        assert isinstance(family, cls)
         return family
 
     @staticmethod
-    def _check_match(family: _Family, cls, name, labelnames) -> None:
+    def _check_match(
+        family: _Family,
+        cls: type,
+        name: str,
+        labelnames: Sequence[str],
+    ) -> None:
         if type(family) is not cls:
             raise MetricError(
                 f"metric {name} already registered as a {family.kind}"

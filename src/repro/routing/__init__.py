@@ -1,5 +1,7 @@
 """Internet routing substrate: topology, BGP, traceroute, Looking Glass."""
 
+from __future__ import annotations
+
 from repro.routing.bgp import CollectorEntry, Route, RouteCollector, best_paths
 from repro.routing.lookingglass import (
     LookingGlassSite,

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.routing.bgp import best_paths
+from repro.routing.bgp import Route, best_paths
 from repro.routing.names import RouterName, router_of_fqdn
 from repro.routing.topology import ASTopology
 from repro.util.errors import NoRouteError, RoutingError
@@ -126,7 +126,7 @@ class TracerouteSimulator:
         self.loss_probability = loss_probability
         # Best paths are invariant between policy events; cache per origin
         # keyed on the topology's policy epoch.
-        self._route_cache: dict = {}
+        self._route_cache: Dict[int, Dict[int, Route]] = {}
         self._route_epoch = -1
 
     def trace(self, source_asn: int, target_address: int) -> TracerouteResult:

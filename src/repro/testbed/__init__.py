@@ -1,5 +1,7 @@
 """Experimental testbed: emulation, experiment runners, metrics."""
 
+from __future__ import annotations
+
 from repro.testbed.emulation import Testbed, TestbedConfig, TimedRecord
 from repro.testbed.experiments import (
     ExperimentParams,

@@ -32,6 +32,7 @@ from repro.util.rng import SeededRng
 __all__ = [
     "ExperimentParams",
     "run_point",
+    "run_single",
     "experiment_spoofed_attacks",
     "experiment_stress",
     "experiment_route_changes",

@@ -1,12 +1,16 @@
 """Shared utilities: IPv4 arithmetic, deterministic RNG, simulated time."""
 
+from __future__ import annotations
+
 from repro.util.errors import (
     AddressError,
     ConfigError,
+    EngineError,
     ExperimentError,
     NetFlowDecodeError,
     NetFlowError,
     NoRouteError,
+    RecordError,
     ReproError,
     RoutingError,
     TrainingError,
@@ -18,10 +22,12 @@ from repro.util.timebase import DAY, HOUR, MINUTE, SimClock, periodic
 __all__ = [
     "AddressError",
     "ConfigError",
+    "EngineError",
     "ExperimentError",
     "NetFlowDecodeError",
     "NetFlowError",
     "NoRouteError",
+    "RecordError",
     "ReproError",
     "RoutingError",
     "TrainingError",

@@ -12,11 +12,13 @@ __all__ = [
     "AddressError",
     "NetFlowError",
     "NetFlowDecodeError",
+    "RecordError",
     "RoutingError",
     "NoRouteError",
     "ConfigError",
     "TrainingError",
     "ExperimentError",
+    "EngineError",
 ]
 
 
@@ -34,6 +36,10 @@ class NetFlowError(ReproError):
 
 class NetFlowDecodeError(NetFlowError, ValueError):
     """A byte buffer could not be parsed as a NetFlow v5 datagram."""
+
+
+class RecordError(NetFlowError, ValueError):
+    """A flow record or packet field value is out of its valid range."""
 
 
 class RoutingError(ReproError):
@@ -54,3 +60,7 @@ class TrainingError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness was driven with inconsistent parameters."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """The sharded ingest engine violated or detected a usage contract."""

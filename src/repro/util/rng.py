@@ -13,6 +13,8 @@ import hashlib
 import random
 from typing import Iterable, List, Sequence, TypeVar
 
+from repro.util.errors import ConfigError
+
 __all__ = ["SeededRng", "derive_seed"]
 
 _T = TypeVar("_T")
@@ -52,6 +54,10 @@ class SeededRng:
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in the inclusive range [low, high]."""
         return self._random.randint(low, high)
+
+    def randrange(self, stop: int) -> int:
+        """Uniform integer in the half-open range [0, stop)."""
+        return self._random.randrange(stop)
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""
@@ -102,7 +108,7 @@ class SeededRng:
         weight_list = list(weights)
         total = sum(weight_list)
         if total <= 0:
-            raise ValueError("weights must sum to a positive value")
+            raise ConfigError("weights must sum to a positive value")
         mark = self._random.random() * total
         cumulative = 0.0
         for index, weight in enumerate(weight_list):

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.util.errors import ConfigError
+
 __all__ = ["SimClock", "periodic", "MINUTE", "HOUR", "DAY"]
 
 MINUTE = 60.0
@@ -27,7 +29,7 @@ class SimClock:
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
-            raise ValueError("clock cannot start before the epoch")
+            raise ConfigError("clock cannot start before the epoch")
         self._now = float(start)
 
     @property
@@ -38,14 +40,14 @@ class SimClock:
     def advance(self, seconds: float) -> float:
         """Move time forward; returns the new time."""
         if seconds < 0:
-            raise ValueError("time cannot move backwards")
+            raise ConfigError("time cannot move backwards")
         self._now += seconds
         return self._now
 
     def advance_to(self, timestamp: float) -> float:
         """Jump to an absolute time at or after the current time."""
         if timestamp < self._now:
-            raise ValueError(
+            raise ConfigError(
                 f"cannot rewind clock from {self._now} to {timestamp}"
             )
         self._now = float(timestamp)
@@ -67,7 +69,7 @@ def periodic(start: float, period: float, end: float) -> Iterator[float]:
     inclusive so a whole number of periods produces the expected count.
     """
     if period <= 0:
-        raise ValueError("period must be positive")
+        raise ConfigError("period must be positive")
     instant = float(start)
     # Tolerate float accumulation: stop a hair past the endpoint.
     while instant <= end + period * 1e-9:

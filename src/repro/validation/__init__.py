@@ -1,5 +1,7 @@
 """Hypothesis validation studies (Section 3 and Figure 1)."""
 
+from __future__ import annotations
+
 from repro.validation.bgp_study import (
     BgpStudyConfig,
     BgpStudyResult,

@@ -15,7 +15,7 @@ the middle is governed by transit-AS IGP selection and load-shared links
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.routing.names import router_of_fqdn
 from repro.routing.topology import (
@@ -25,7 +25,7 @@ from repro.routing.topology import (
     TopologyParams,
     generate_internet,
 )
-from repro.routing.traceroute import TracerouteSimulator
+from repro.routing.traceroute import TracerouteResult, TracerouteSimulator
 from repro.util.errors import ExperimentError
 from repro.util.rng import SeededRng
 from repro.util.timebase import HOUR, periodic
@@ -135,7 +135,7 @@ def run_route_stability_study(
     return result
 
 
-def _bucketize(trace, n_buckets: int) -> List[frozenset]:
+def _bucketize(trace: TracerouteResult, n_buckets: int) -> List[FrozenSet[int]]:
     """Router identities per normalised-position bucket.
 
     The destination hop is excluded (it never changes); comparing bucket

@@ -65,8 +65,10 @@ class TestReport:
         assert "400 flows" in out
 
     def test_bad_group_field(self, normal_file, capsys):
-        with pytest.raises(ValueError):
-            main(["report", normal_file, "--group-by", "bogus"])
+        # An unknown grouping field is a ConfigError, which main() turns
+        # into the CLI error exit code rather than a traceback.
+        assert main(["report", normal_file, "--group-by", "bogus"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_csv_format(self, normal_file, capsys):
         assert main(["report", normal_file, "--format", "csv"]) == 0
