@@ -1,0 +1,83 @@
+"""Checkpoint benchmarks: save/load latency and warm-restart payoff.
+
+Not paper artefacts — operational numbers for the v2 stage-state
+checkpoints: how long writing one costs at different detector sizes
+(that bounds ``--checkpoint-every`` overhead), how long a warm restart
+takes, and how that compares to the cold-start alternative of
+retraining from records (the Section 4.2 off-line-construction claim,
+measured).
+"""
+
+import io
+
+import pytest
+
+from repro.core import EnhancedInFilter, PipelineConfig
+from repro.core.persistence import load_detector, render_state, save_detector
+from repro.flowgen import Dagflow, SubBlockSpace, eia_allocation, synthesize_trace
+from repro.util import Prefix, SeededRng
+
+TARGET = Prefix.parse("198.18.0.0/16")
+
+
+def _build(n_train, seed=5150):
+    rng = SeededRng(seed, "bench-ckpt")
+    plan = eia_allocation(SubBlockSpace())
+    detector = EnhancedInFilter(PipelineConfig(), rng=rng.fork("det"))
+    for peer, blocks in plan.items():
+        detector.preload_eia(peer, blocks)
+    dagflow = Dagflow(
+        "bench", target_prefix=TARGET, udp_port=9000,
+        source_blocks=plan[0], rng=rng.fork("df"),
+    )
+    training = [
+        lr.record.with_key(input_if=0)
+        for lr in dagflow.replay(
+            synthesize_trace(n_train, rng=rng.fork("trace"))
+        )
+    ]
+    detector.train(training)
+    return detector, training
+
+
+@pytest.mark.parametrize("n_train", [300, 1200, 2400])
+def test_checkpoint_save_latency(benchmark, n_train):
+    """Rendering the canonical checkpoint text, by trained-model size."""
+    detector, _training = _build(n_train)
+    text = benchmark(lambda: render_state(detector))
+    assert text.startswith('{"components"')
+
+
+@pytest.mark.parametrize("n_train", [300, 1200, 2400])
+def test_checkpoint_save_to_disk_latency(benchmark, tmp_path, n_train):
+    """The full atomic write (render + temp file + rename)."""
+    detector, _training = _build(n_train)
+    path = tmp_path / "ckpt.json"
+    benchmark(lambda: save_detector(detector, path, cursor=n_train))
+    assert path.exists()
+
+
+@pytest.mark.parametrize("n_train", [300, 1200, 2400])
+def test_warm_restart_latency(benchmark, n_train):
+    """Restoring a trained detector from its v2 checkpoint — no training
+    replay, the model rebuilds from derived statistics."""
+    detector, _training = _build(n_train)
+    text = render_state(detector)
+    restored = benchmark(lambda: load_detector(io.StringIO(text)))
+    assert restored.model is not None
+
+
+@pytest.mark.parametrize("n_train", [300, 1200, 2400])
+def test_cold_start_retraining_latency(benchmark, n_train):
+    """The alternative a warm restart avoids: retraining from records.
+    Compare against ``test_warm_restart_latency`` at the same size."""
+    _detector, training = _build(n_train)
+
+    def retrain():
+        rng = SeededRng(5150, "bench-ckpt")
+        fresh = EnhancedInFilter(PipelineConfig(), rng=rng.fork("det"))
+        fresh.train(training)
+        return fresh
+
+    fresh = benchmark(retrain)
+    assert fresh.model is not None

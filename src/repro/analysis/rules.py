@@ -15,6 +15,9 @@ REP006    metric names follow the documented naming convention
 REP007    public modules declare ``__all__`` consistent with their
           definitions
 REP008    ``type: ignore`` must be error-code-scoped
+REP009    stateful components implement the full stage-state protocol
+          (``state_dict(self)`` / ``load_state(self, state)``), and
+          ``core/persistence.py`` never reaches into private attributes
 ========  ==============================================================
 
 Rules are pure functions from a parsed :class:`ModuleInfo` to findings —
@@ -524,6 +527,101 @@ def _check_scoped_ignores(info: ModuleInfo) -> Iterator[Finding]:
             )
 
 
+# -- REP009: the stage-state protocol ----------------------------------------
+
+
+def _is_stateful_decorator(decorator: ast.expr) -> bool:
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    if isinstance(target, ast.Name):
+        return target.id == "stateful"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "stateful"
+    return False
+
+
+def _method_named(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _plain_positional_names(fn: ast.FunctionDef) -> Optional[List[str]]:
+    """The argument names iff the signature is plain positional-only.
+
+    None when the function takes varargs, keyword-only arguments,
+    positional-only markers, or defaults — anything beyond the exact
+    protocol shape.
+    """
+    args = fn.args
+    if (
+        args.posonlyargs
+        or args.kwonlyargs
+        or args.vararg is not None
+        or args.kwarg is not None
+        or args.defaults
+    ):
+        return None
+    return [arg.arg for arg in args.args]
+
+
+_STATE_SIGNATURES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("state_dict", ("self",)),
+    ("load_state", ("self", "state")),
+)
+
+
+def _check_state_protocol(info: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        decorated = any(
+            _is_stateful_decorator(d) for d in node.decorator_list
+        )
+        methods = {
+            name: _method_named(node, name)
+            for name, _ in _STATE_SIGNATURES
+        }
+        if not decorated and not any(methods.values()):
+            continue
+        for name, signature in _STATE_SIGNATURES:
+            method = methods[name]
+            if method is None:
+                yield _finding(
+                    info,
+                    "REP009",
+                    node,
+                    f"stateful component {node.name!r} defines no {name}();"
+                    " the stage-state protocol needs both state_dict(self)"
+                    " and load_state(self, state)",
+                )
+            elif tuple(_plain_positional_names(method) or ()) != signature:
+                yield _finding(
+                    info,
+                    "REP009",
+                    method,
+                    f"{node.name}.{name} must have the exact protocol"
+                    f" signature ({', '.join(signature)})",
+                )
+    if info.posix.endswith("repro/core/persistence.py"):
+        for node in ast.walk(info.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr.startswith("_")
+                and not (
+                    node.attr.startswith("__") and node.attr.endswith("__")
+                )
+            ):
+                yield _finding(
+                    info,
+                    "REP009",
+                    node,
+                    f"persistence reaches into private attribute"
+                    f" {node.attr!r}; components expose checkpoint state"
+                    " only through the stage-state protocol",
+                )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     Rule(
         id="REP001",
@@ -569,6 +667,12 @@ ALL_RULES: Tuple[Rule, ...] = (
         id="REP008",
         summary="type: ignore comments are error-code-scoped",
         check=_check_scoped_ignores,
+    ),
+    Rule(
+        id="REP009",
+        summary="stateful components implement the full stage-state protocol",
+        check=_check_state_protocol,
+        library_only=True,
     ),
 )
 

@@ -8,6 +8,11 @@
   emit IDMEF alerts (plus a trace-back summary); ``--shards`` /
   ``--batch-size`` / ``--engine-mode`` route the run through the sharded
   batch ingest engine (:mod:`repro.engine`) with identical verdicts;
+  ``--checkpoint-every N`` writes periodic atomic checkpoints to the
+  ``--save-state`` path and ``--load-state … --resume`` continues a
+  killed run from its checkpoint cursor;
+* ``infilter state``      — checkpoint tooling: ``state inspect CKPT``
+  summarizes a saved checkpoint (either format) without loading it;
 * ``infilter validate``   — run the Section 3 hypothesis-validation studies;
 * ``infilter experiment`` — run one Section 6.3 experiment point;
 * ``infilter convert``    — convert flow files between binary and ASCII;
@@ -183,16 +188,51 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _run_detect(args: argparse.Namespace) -> int:
+    out = sys.stderr if args.idmef else sys.stdout
+    checkpoint_every = args.checkpoint_every or 0
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    if checkpoint_every and not args.save_state:
+        print(
+            "error: --checkpoint-every needs --save-state for the"
+            " checkpoint path",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.load_state:
+        print("error: --resume needs --load-state", file=sys.stderr)
+        return 2
     records = _load_flows(args.flow_file)
+    resume_cursor = 0
     training: List[FlowRecord] = []
     if args.load_state:
-        from repro.core.persistence import load_detector
+        from repro.core.persistence import load_checkpoint
 
-        detector = load_detector(args.load_state)
+        detector, saved_cursor = load_checkpoint(args.load_state)
         if args.eia_plan:
             print(
                 "note: --load-state supplied; ignoring the EIA plan file",
                 file=sys.stderr,
+            )
+        if args.resume:
+            if saved_cursor is None:
+                print(
+                    "error: the checkpoint has no cursor to resume from",
+                    file=sys.stderr,
+                )
+                return 2
+            if saved_cursor > len(records):
+                print(
+                    f"error: checkpoint cursor {saved_cursor} is beyond the"
+                    f" {len(records)}-record input",
+                    file=sys.stderr,
+                )
+                return 2
+            resume_cursor = saved_cursor
+            print(
+                f"resuming at record {resume_cursor} of {len(records)}",
+                file=out,
             )
     else:
         if not args.eia_plan:
@@ -222,6 +262,16 @@ def _run_detect(args: argparse.Namespace) -> int:
                 print("error: no training flows available", file=sys.stderr)
                 return 2
             detector.train(training)
+    run_records = records[resume_cursor:]
+    # Restored stats are cumulative across the detector's lifetime;
+    # summarize *this run* by diffing against the starting snapshot.
+    stats = detector.stats
+    base_processed = stats.processed
+    base_legal = stats.legal
+    base_suspects = stats.suspects
+    base_attacks = stats.attacks
+    base_latency_s = stats.latency_total_s
+    alerts_before = len(detector.alert_sink.alerts)
     engine_report = None
     use_engine = (
         args.shards is not None
@@ -239,46 +289,100 @@ def _run_detect(args: argparse.Namespace) -> int:
                     args.batch_size if args.batch_size is not None else 256
                 ),
                 mode=args.engine_mode if args.engine_mode is not None else "auto",
+                checkpoint_every=checkpoint_every,
             ),
+            checkpoint_path=args.save_state if checkpoint_every else None,
+            cursor_base=resume_cursor,
         )
         with engine:
-            engine_report = engine.run(records)
-        attacks = detector.stats.attacks
+            engine_report = engine.run(run_records)
         if args.idmef:
-            for alert in detector.alert_sink.alerts:
+            for alert in detector.alert_sink.alerts[alerts_before:]:
                 print(alert.to_xml())
     else:
-        attacks = 0
-        for record in records:
+        from repro.core.persistence import save_detector
+
+        for offset, record in enumerate(run_records, start=1):
             decision = detector.process(record)
-            if decision.is_attack:
-                attacks += 1
-                if args.idmef:
-                    print(decision.alert.to_xml())
-    stats = detector.stats
+            if decision.is_attack and args.idmef and decision.alert is not None:
+                print(decision.alert.to_xml())
+            if checkpoint_every and offset % checkpoint_every == 0:
+                save_detector(
+                    detector, args.save_state, cursor=resume_cursor + offset
+                )
+    run_processed = stats.processed - base_processed
+    run_latency_s = stats.latency_total_s - base_latency_s
+    mean_latency_s = run_latency_s / run_processed if run_processed else 0.0
     print(
-        f"processed {stats.processed} flows:"
-        f" {stats.legal} legal, {stats.suspects} suspect,"
-        f" {attacks} flagged as attacks"
-        f" (mean latency {stats.mean_latency_s * 1e3:.3f} ms)",
-        file=sys.stderr if args.idmef else sys.stdout,
+        f"processed {run_processed} flows:"
+        f" {stats.legal - base_legal} legal,"
+        f" {stats.suspects - base_suspects} suspect,"
+        f" {stats.attacks - base_attacks} flagged as attacks"
+        f" (mean latency {mean_latency_s * 1e3:.3f} ms)",
+        file=out,
     )
     if engine_report is not None:
-        print(
-            engine_report.describe(),
-            file=sys.stderr if args.idmef else sys.stdout,
-        )
+        print(engine_report.describe(), file=out)
     analyzer = TracebackAnalyzer()
-    analyzer.consume_all(detector.alert_sink.alerts)
+    analyzer.consume_all(detector.alert_sink.alerts[alerts_before:])
     if len(analyzer):
-        print(f"trace-back: {analyzer.report().summary()}",
-              file=sys.stderr if args.idmef else sys.stdout)
+        print(f"trace-back: {analyzer.report().summary()}", file=out)
     if args.save_state:
         from repro.core.persistence import save_detector
 
-        save_detector(detector, args.save_state, training_records=training or None)
-        print(f"detector state saved to {args.save_state}",
-              file=sys.stderr if args.idmef else sys.stdout)
+        # A periodic-checkpoint run records its final cursor so --resume
+        # can skip the whole committed stream; a plain save carries none.
+        final_cursor = (
+            resume_cursor + len(run_records) if checkpoint_every else None
+        )
+        save_detector(detector, args.save_state, cursor=final_cursor)
+        print(f"detector state saved to {args.save_state}", file=out)
+    return 0
+
+
+# -- state --------------------------------------------------------------------
+
+
+def _cmd_state_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.persistence import describe_state
+
+    description = describe_state(args.checkpoint)
+    if args.format == "json":
+        print(json.dumps(description, indent=2, sort_keys=True))
+        return 0
+    print(f"checkpoint: {args.checkpoint}")
+    print(f"format: v{description['format']}")
+    cursor = description.get("cursor")
+    print(f"cursor: {cursor if cursor is not None else '(none)'}")
+    print(f"trained: {'yes' if description['trained'] else 'no'}")
+    for name, info in description.get("classes", {}).items():
+        print(
+            f"  class {name}: {info['size']} flows,"
+            f" threshold {info['threshold']}"
+        )
+    if "training_records" in description:
+        print(
+            f"training records (v1 replay):"
+            f" {description['training_records']}"
+        )
+    peers = description["peers"]
+    blocks = sum(peers.values())
+    print(f"peers: {len(peers)} ({blocks} expected blocks)")
+    print(f"pending absorptions: {description['pending_absorptions']}")
+    if "scan_buffer" in description:
+        print(f"scan buffer: {description['scan_buffer']} suspect flows")
+    if "alerts" in description:
+        print(f"alerts stored: {description['alerts']}")
+    print(f"alert counter: {description['alert_counter']}")
+    run_stats = description.get("stats")
+    if run_stats:
+        print(
+            "stats: processed={processed} legal={legal} suspects={suspects}"
+            " benign={benign} attacks={attacks}"
+            " absorbed={absorbed}".format(**run_stats)
+        )
     return 0
 
 
@@ -590,7 +694,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="engine execution mode (implies the engine; default auto)",
     )
+    detect.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write an atomic checkpoint to --save-state every N records"
+        " (inline) or N batches (engine)",
+    )
+    detect.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip the records a --load-state checkpoint already committed"
+        " (its saved cursor)",
+    )
     detect.set_defaults(handler=_cmd_detect)
+
+    state = commands.add_parser(
+        "state", help="inspect saved detector checkpoints"
+    )
+    state_commands = state.add_subparsers(dest="state_command", required=True)
+    state_inspect = state_commands.add_parser(
+        "inspect", help="summarize a checkpoint file (either format)"
+    )
+    state_inspect.add_argument("checkpoint")
+    state_inspect.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    state_inspect.set_defaults(handler=_cmd_state_inspect)
 
     validate = commands.add_parser("validate", help="Section 3 validation studies")
     validate.add_argument("study", choices=("traceroute", "bgp", "stability"))

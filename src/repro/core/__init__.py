@@ -4,7 +4,20 @@ from __future__ import annotations
 
 from repro.core.alerts import AlertSink, IdmefAlert, parse_idmef
 from repro.core.deployment import BorderRouter, Deployment
-from repro.core.persistence import load_detector, save_detector
+from repro.core.persistence import (
+    STATE_FORMAT_VERSION,
+    describe_state,
+    load_checkpoint,
+    load_detector,
+    render_state,
+    save_detector,
+)
+from repro.core.state import (
+    STATEFUL_COMPONENTS,
+    StateDict,
+    StatefulComponent,
+    stateful,
+)
 from repro.core.bootstrap import eia_from_bgp, eia_from_traceroutes, remap_peers
 from repro.core.traceback import IngressReport, TracebackAnalyzer
 from repro.core.clusters import (
@@ -38,8 +51,16 @@ __all__ = [
     "AlertSink",
     "BorderRouter",
     "Deployment",
+    "STATE_FORMAT_VERSION",
+    "describe_state",
+    "load_checkpoint",
     "load_detector",
+    "render_state",
     "save_detector",
+    "STATEFUL_COMPONENTS",
+    "StateDict",
+    "StatefulComponent",
+    "stateful",
     "eia_from_bgp",
     "eia_from_traceroutes",
     "remap_peers",

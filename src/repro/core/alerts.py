@@ -10,9 +10,10 @@ back, which is what the Alert UI / downstream trace-back systems would do.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional
 
+from repro.core.state import StateDict, stateful
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, get_logger, get_registry
 from repro.util.errors import ReproError
@@ -157,6 +158,7 @@ def parse_idmef(xml_text: str) -> IdmefAlert:
     )
 
 
+@stateful("alerts")
 class AlertSink:
     """An in-memory IDMEF consumer (the Alert UI role).
 
@@ -198,3 +200,17 @@ class AlertSink:
 
     def by_classification(self, classification: str) -> List[IdmefAlert]:
         return [a for a in self.alerts if a.classification == classification]
+
+    # -- the stage-state protocol --------------------------------------------
+
+    def state_dict(self) -> StateDict:
+        """Alert history, in arrival order.
+
+        Monotonic consumption *metrics* are deliberately not restored on
+        load: counters describe this process's lifetime, state describes
+        the detector's.
+        """
+        return {"alerts": [asdict(alert) for alert in self.alerts]}
+
+    def load_state(self, state: StateDict) -> None:
+        self.alerts = [IdmefAlert(**entry) for entry in state["alerts"]]

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.config import NNSConfig
 from repro.core.encoding import UnaryEncoder, hamming
 from repro.core.nns import NNSStructure, SearchResult, TrainingFlow
+from repro.core.state import StateDict, stateful
 from repro.netflow.records import (
     PORT_DNS,
     PORT_FTP,
@@ -105,6 +106,7 @@ class SubCluster:
         return result.distance <= self.threshold, result
 
 
+@stateful("model")
 class ClusterModel:
     """Everything the NNS analysis needs at search time.
 
@@ -187,6 +189,46 @@ class ClusterModel:
 
     def thresholds(self) -> Dict[str, int]:
         return {name: sc.threshold for name, sc in self.subclusters.items()}
+
+    # -- the stage-state protocol --------------------------------------------
+
+    def state_dict(self) -> StateDict:
+        """The *derived* model: per-class thresholds, sizes, structures.
+
+        This is what makes warm restarts retrain-free — loading this
+        section rebuilds the trained model directly, never replaying
+        training records through :meth:`train`.
+        """
+        return {
+            "classes": {
+                name: {
+                    "threshold": sc.threshold,
+                    "size": sc.size,
+                    "structure": sc.structure.state_dict(),
+                }
+                for name, sc in sorted(self.subclusters.items())
+            }
+        }
+
+    def load_state(self, state: StateDict) -> None:
+        self.subclusters = {
+            name: SubCluster(
+                name=name,
+                structure=NNSStructure.from_state(
+                    self.encoder, self.config, section["structure"]
+                ),
+                threshold=int(section["threshold"]),
+                size=int(section["size"]),
+            )
+            for name, section in state["classes"].items()
+        }
+
+    @classmethod
+    def from_state(cls, config: NNSConfig, state: StateDict) -> "ClusterModel":
+        """Rebuild a trained model from its captured state section."""
+        model = cls(UnaryEncoder(config.features), {}, config)
+        model.load_state(state)
+        return model
 
 
 def _calibrate_threshold(

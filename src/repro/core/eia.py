@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import EIAConfig
+from repro.core.state import StateDict, stateful
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, get_logger, get_registry
 from repro.util.errors import ConfigError
@@ -56,6 +57,7 @@ class EIACheck:
         return self.verdict != EIAVerdict.LEGAL
 
 
+@stateful("eia_set")
 class EIASet:
     """The expected source address blocks of one peer AS."""
 
@@ -84,7 +86,20 @@ class EIASet:
     def __contains__(self, address: int) -> bool:
         return self.contains(address)
 
+    def state_dict(self) -> StateDict:
+        return {
+            "peer": self.peer,
+            "prefixes": sorted(str(prefix) for prefix in self.prefixes()),
+        }
 
+    def load_state(self, state: StateDict) -> None:
+        self.peer = int(state["peer"])
+        self._trie = PrefixTrie()
+        for text in state["prefixes"]:
+            self._trie.insert(Prefix.parse(text), True)
+
+
+@stateful("eia")
 class BasicInFilter:
     """Per-peer EIA sets plus the Section 5.2 check and learning rules.
 
@@ -234,3 +249,40 @@ class BasicInFilter:
     def pending_counts(self) -> Dict[Tuple[int, Prefix], int]:
         """Snapshot of not-yet-absorbed source observations (for tests)."""
         return dict(self._pending)
+
+    # -- the stage-state protocol --------------------------------------------
+
+    def state_dict(self) -> StateDict:
+        """EIA sets plus the learning rule's pending counters.
+
+        The reverse owner index is derived (every block in every set owns
+        its entry) and is rebuilt on load rather than stored.
+        """
+        return {
+            "peers": {
+                str(peer): self._sets[peer].state_dict()
+                for peer in self.peers()
+            },
+            "pending": [
+                {"peer": peer, "prefix": str(prefix), "count": count}
+                for (peer, prefix), count in sorted(
+                    self._pending.items(),
+                    key=lambda item: (item[0][0], str(item[0][1])),
+                )
+            ],
+        }
+
+    def load_state(self, state: StateDict) -> None:
+        self._sets = {}
+        self._owner = PrefixTrie()
+        self._pending = {}
+        for peer_text, section in state["peers"].items():
+            peer = int(peer_text)
+            eia = self.ensure_peer(peer)
+            eia.load_state(section)
+            for prefix in eia.prefixes():
+                self._owner.insert(prefix, peer)
+            self._m_blocks.labels(peer=peer).set(len(eia))
+        for entry in state["pending"]:
+            key = (int(entry["peer"]), Prefix.parse(entry["prefix"]))
+            self._pending[key] = int(entry["count"])

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import NNSConfig
 from repro.core.encoding import UnaryEncoder, hamming, parity_inner_product
+from repro.core.state import StateDict, stateful
 from repro.netflow.records import FlowStats
 from repro.util.errors import TrainingError
 from repro.util.rng import SeededRng
@@ -118,6 +119,22 @@ def _random_test_vector(dimension: int, probability_of_one: float, rng: SeededRn
     return vector
 
 
+def _flow_from_state(entry: StateDict) -> TrainingFlow:
+    values = entry["stats"]
+    return TrainingFlow(
+        index=int(entry["index"]),
+        stats=FlowStats(
+            octets=int(values[0]),
+            packets=int(values[1]),
+            duration_ms=int(values[2]),
+            bit_rate=float(values[3]),
+            packet_rate=float(values[4]),
+        ),
+        encoded=int(entry["encoded"]),
+    )
+
+
+@stateful("nns")
 class NNSStructure:
     """The full KOR search structure over one training cluster."""
 
@@ -202,6 +219,53 @@ class NNSStructure:
         return SearchResult(
             flow=flow, distance=hamming(flow.encoded, encoded), scale=scale
         )
+
+    # -- the stage-state protocol --------------------------------------------
+
+    def state_dict(self) -> StateDict:
+        """Training flows plus both RNG cursors.
+
+        The trace tables are *not* stored: scales are a pure function of
+        ``self._rng``'s seed (``fork`` derives children from seed and name
+        alone, never the cursor), so a restored structure rebuilds the
+        same tables lazily on first probe.  Only ``_pick_rng``'s cursor is
+        consumed per search, and it is captured exactly.
+        """
+        return {
+            "rng": self._rng.state_dict(),
+            "pick_rng": self._pick_rng.state_dict(),
+            "flows": [
+                {
+                    "index": flow.index,
+                    "stats": list(flow.stats.as_tuple()),
+                    "encoded": flow.encoded,
+                }
+                for flow in self.flows
+            ],
+        }
+
+    def load_state(self, state: StateDict) -> None:
+        self.flows = [_flow_from_state(entry) for entry in state["flows"]]
+        if not self.flows:
+            raise TrainingError("cannot restore an NNS structure with no flows")
+        self._rng.load_state(state["rng"])
+        self._pick_rng.load_state(state["pick_rng"])
+        self._scales = {}
+        self.scales_built = 0
+
+    @classmethod
+    def from_state(
+        cls, encoder: UnaryEncoder, config: NNSConfig, state: StateDict
+    ) -> "NNSStructure":
+        """Rebuild a structure from a captured state section.
+
+        The placeholder RNG is immediately overwritten by ``load_state``,
+        which restores the saved seed, name, and cursor of both streams.
+        """
+        flows = [_flow_from_state(entry) for entry in state["flows"]]
+        structure = cls(encoder, config, flows, rng=SeededRng(0, "restoring"))
+        structure.load_state(state)
+        return structure
 
     def nearest_exact(self, encoded: int) -> SearchResult:
         """Brute-force exact nearest neighbour (calibration & testing)."""

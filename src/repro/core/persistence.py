@@ -1,30 +1,42 @@
-"""Detector state persistence.
+"""Versioned, atomic detector checkpoints (the v2 state format).
 
 Section 4.2: "the search data structure may be constructed off-line;
 without requiring access to network traffic" — an operational deployment
-trains once and restarts many times.  This module saves and restores an
-:class:`EnhancedInFilter` as a JSON document:
+trains once and restarts many times.  A checkpoint is a JSON document:
 
-* the full configuration (every dataclass knob),
-* the EIA sets (peer → prefix list) and pending absorption counters,
-* the training flows' statistic vectors.
+* ``format`` — the format version (currently 2);
+* ``config`` — the full configuration (every dataclass knob);
+* ``cursor`` — how many records of the input stream were committed when
+  the checkpoint was taken (``None`` for plain save/load round trips);
+* ``components`` — the detector's composed :meth:`state_dict`, one
+  namespaced section per stage-state component (see
+  :mod:`repro.core.state`).
 
-On load, the cluster model is *rebuilt deterministically* from the saved
-statistics and the saved RNG seed — the KOR structures' test vectors are
-a pure function of (seed, config), so the restored model is identical to
-the saved one without serializing the (lazily built, potentially large)
-per-scale tables.  The one non-restored detail: with ``m1 > 1`` the
-random table pick of in-flight searches restarts from the stream's
-origin (with the default ``m1 = 1`` searches are fully deterministic
-anyway).
+Three guarantees the v1 format lacked:
+
+* **lossless** — every component round-trips through its own
+  ``state_dict``/``load_state`` pair, so scan suspicion, pending
+  absorptions, stats, alert history, and RNG cursors all survive a
+  restart; the trained model serializes its *derived* statistics, so
+  loading never replays training records;
+* **byte-identical** — :func:`render_state` emits canonical JSON
+  (sorted keys, compact separators, deterministically ordered derived
+  collections), so ``save(load(save(d)))`` equals ``save(d)`` byte for
+  byte;
+* **atomic** — file writes go through a temp file and ``os.replace``,
+  so a crash mid-write leaves the previous checkpoint intact.
+
+v1 documents still load: the reader rebuilds the model by replaying the
+embedded training records — slower, but the upgrade path costs nothing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, List, Optional, TextIO, Union
+from typing import Any, Dict, Optional, TextIO, Tuple, Union
 
 from repro.core.config import (
     EIAConfig,
@@ -36,13 +48,19 @@ from repro.core.config import (
 )
 from repro.core.pipeline import EnhancedInFilter
 from repro.netflow.records import FlowKey, FlowRecord
-from repro.util.errors import ConfigError, ReproError
-from repro.util.ip import Prefix
+from repro.util.errors import StateError
 from repro.util.rng import SeededRng
 
-__all__ = ["save_detector", "load_detector", "STATE_FORMAT_VERSION"]
+__all__ = [
+    "STATE_FORMAT_VERSION",
+    "render_state",
+    "save_detector",
+    "load_checkpoint",
+    "load_detector",
+    "describe_state",
+]
 
-STATE_FORMAT_VERSION = 1
+STATE_FORMAT_VERSION = 2
 
 
 def _config_to_dict(config: PipelineConfig) -> Dict[str, Any]:
@@ -85,83 +103,141 @@ def _config_from_dict(data: Dict[str, Any]) -> PipelineConfig:
     )
 
 
+def render_state(
+    detector: EnhancedInFilter, *, cursor: Optional[int] = None
+) -> str:
+    """The canonical v2 checkpoint text for a detector.
+
+    Canonical means byte-stable: sorted keys and compact separators here,
+    deterministic ordering of derived collections inside each component's
+    ``state_dict``.
+    """
+    document = {
+        "format": STATE_FORMAT_VERSION,
+        "config": _config_to_dict(detector.config),
+        "cursor": cursor,
+        "components": detector.state_dict(),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` crash-safely (temp file + rename).
+
+    ``os.replace`` is atomic on POSIX and Windows alike, so a reader — or
+    a crash — either sees the previous complete checkpoint or the new
+    complete checkpoint, never a torn write.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except OSError as error:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise StateError(
+            f"could not write checkpoint {path}: {error}"
+        ) from error
+
+
 def save_detector(
     detector: EnhancedInFilter,
     destination: Union[str, Path, TextIO],
     *,
-    training_records: Optional[List[FlowRecord]] = None,
+    cursor: Optional[int] = None,
 ) -> None:
-    """Serialize detector state to JSON.
+    """Checkpoint detector state as canonical v2 JSON.
 
-    ``training_records`` must be the records the detector was trained
-    with when the detector has a model (the model itself stores only
-    derived statistics; the records' key fields are what `load` needs to
-    rebuild it deterministically).
+    Path destinations are written atomically; stream destinations are the
+    caller's to make crash-safe.  ``cursor`` records how many input
+    records were committed at checkpoint time, which is what
+    ``infilter detect --resume`` skips on restart.
     """
-    if detector.model is not None and training_records is None:
-        training_records = getattr(detector, "_persisted_training", None)
-    if detector.model is not None and training_records is None:
-        raise ConfigError(
-            "a trained detector needs its training_records to be saved"
-        )
-    state = {
-        "format": STATE_FORMAT_VERSION,
-        "config": _config_to_dict(detector.config),
-        "rng": {"seed": detector._rng.seed, "name": detector._rng.name},
-        "eia_sets": {
-            str(peer): [str(prefix) for prefix in detector.infilter.eia_set(peer).prefixes()]
-            for peer in detector.infilter.peers()
-        },
-        "pending": [
-            {"peer": peer, "prefix": str(prefix), "count": count}
-            for (peer, prefix), count in detector.infilter.pending_counts().items()
-        ],
-        "alert_counter": detector._alert_counter,
-        "trained": detector.model is not None,
-        "training": [
-            {
-                "src": record.key.src_addr,
-                "dst": record.key.dst_addr,
-                "proto": record.key.protocol,
-                "sport": record.key.src_port,
-                "dport": record.key.dst_port,
-                "iface": record.key.input_if,
-                "packets": record.packets,
-                "octets": record.octets,
-                "first": record.first,
-                "last": record.last,
-            }
-            for record in (training_records or [])
-        ],
-    }
-    text = json.dumps(state)
+    text = render_state(detector, cursor=cursor)
     if isinstance(destination, (str, Path)):
-        Path(destination).write_text(text)
+        _write_atomic(Path(destination), text)
     else:
         destination.write(text)
 
 
-def load_detector(source: Union[str, Path, TextIO]) -> EnhancedInFilter:
-    """Restore a detector saved by :func:`save_detector`."""
+def _read_document(source: Union[str, Path, TextIO]) -> Dict[str, Any]:
     if isinstance(source, (str, Path)):
-        text = Path(source).read_text()
+        try:
+            text = Path(source).read_text()
+        except OSError as error:
+            raise StateError(
+                f"could not read checkpoint {source}: {error}"
+            ) from error
     else:
         text = source.read()
     try:
-        state = json.loads(text)
+        document = json.loads(text)
     except json.JSONDecodeError as error:
-        raise ReproError(f"malformed detector state: {error}") from error
-    if state.get("format") != STATE_FORMAT_VERSION:
-        raise ReproError(
-            f"unsupported detector state format {state.get('format')!r}"
-        )
+        raise StateError(f"malformed detector state: {error}") from error
+    if not isinstance(document, dict):
+        raise StateError("detector state must be a JSON object")
+    return document
+
+
+def load_checkpoint(
+    source: Union[str, Path, TextIO]
+) -> Tuple[EnhancedInFilter, Optional[int]]:
+    """Restore a checkpoint: ``(detector, cursor)``.
+
+    ``cursor`` is the committed-record count saved with the checkpoint
+    (``None`` when the checkpoint was a plain save, or v1).  Reads both
+    the v2 format and the legacy v1 format.
+    """
+    document = _read_document(source)
+    version = document.get("format")
+    try:
+        if version == 1:
+            return _load_v1(document), None
+        if version != STATE_FORMAT_VERSION:
+            raise StateError(f"unsupported detector state format {version!r}")
+        config = _config_from_dict(document["config"])
+        detector = EnhancedInFilter(config)
+        detector.load_state(document["components"])
+    except StateError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise StateError(f"corrupt detector state: {error}") from error
+    cursor = document.get("cursor")
+    return detector, (int(cursor) if cursor is not None else None)
+
+
+def load_detector(source: Union[str, Path, TextIO]) -> EnhancedInFilter:
+    """Restore just the detector from a checkpoint (either format)."""
+    detector, _ = load_checkpoint(source)
+    return detector
+
+
+def _load_v1(state: Dict[str, Any]) -> EnhancedInFilter:
+    """The legacy reader: rebuild from v1's raw-training-records format.
+
+    v1 stored EIA sets, pending counters, the alert counter, and the
+    training records themselves; the model is rebuilt by retraining —
+    deterministic given the saved seed, just not retrain-free.  All live
+    state v1 never captured (scan buffer, stats, alert history) starts
+    empty, exactly as it did before the v2 format existed.
+    """
     config = _config_from_dict(state["config"])
-    rng = SeededRng(state["rng"]["seed"], state["rng"]["name"])
+    rng = SeededRng(int(state["rng"]["seed"]), str(state["rng"]["name"]))
     detector = EnhancedInFilter(config, rng=rng)
-    for peer_text, prefixes in state["eia_sets"].items():
-        detector.preload_eia(
-            int(peer_text), [Prefix.parse(p) for p in prefixes]
-        )
+    detector.infilter.load_state(
+        {
+            "peers": {
+                str(peer_text): {
+                    "peer": int(peer_text),
+                    "prefixes": list(prefixes),
+                }
+                for peer_text, prefixes in state["eia_sets"].items()
+            },
+            "pending": state["pending"],
+        }
+    )
     if state["trained"]:
         records = [
             FlowRecord(
@@ -181,10 +257,68 @@ def load_detector(source: Union[str, Path, TextIO]) -> EnhancedInFilter:
             for entry in state["training"]
         ]
         detector.train(records)
-        # Stash for a later save_detector on the restored instance.
-        detector._persisted_training = records
-    for entry in state["pending"]:
-        key = (int(entry["peer"]), Prefix.parse(entry["prefix"]))
-        detector.infilter._pending[key] = int(entry["count"])
-    detector._alert_counter = int(state["alert_counter"])
+    detector.alert_counter = int(state["alert_counter"])
     return detector
+
+
+def describe_state(source: Union[str, Path, TextIO]) -> Dict[str, Any]:
+    """A cheap, human-oriented summary of a checkpoint document.
+
+    Reads the JSON directly — no detector is constructed — so inspection
+    works even when loading would be expensive.  Handles both formats.
+    """
+    document = _read_document(source)
+    version = document.get("format")
+    try:
+        if version == 1:
+            return {
+                "format": 1,
+                "cursor": None,
+                "trained": bool(document["trained"]),
+                "training_records": len(document["training"]),
+                "peers": {
+                    str(peer): len(prefixes)
+                    for peer, prefixes in sorted(document["eia_sets"].items())
+                },
+                "pending_absorptions": len(document["pending"]),
+                "alert_counter": int(document["alert_counter"]),
+            }
+        if version != STATE_FORMAT_VERSION:
+            raise StateError(f"unsupported detector state format {version!r}")
+        components = document["components"]
+        model = components["model"]
+        stats = components["stats"]
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "cursor": document.get("cursor"),
+            "trained": model is not None,
+            "classes": {
+                name: {
+                    "size": int(section["size"]),
+                    "threshold": int(section["threshold"]),
+                }
+                for name, section in sorted(
+                    (model["classes"] if model is not None else {}).items()
+                )
+            },
+            "peers": {
+                str(peer): len(section["prefixes"])
+                for peer, section in sorted(components["eia"]["peers"].items())
+            },
+            "pending_absorptions": len(components["eia"]["pending"]),
+            "scan_buffer": len(components["scan"]["buffer"]),
+            "alerts": len(components["alerts"]["alerts"]),
+            "alert_counter": int(components["alert_counter"]),
+            "stats": {
+                "processed": int(stats["processed"]),
+                "legal": int(stats["legal"]),
+                "suspects": int(stats["suspects"]),
+                "benign": int(stats["benign"]),
+                "attacks": int(stats["attacks"]),
+                "absorbed": int(stats["absorbed"]),
+            },
+        }
+    except StateError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise StateError(f"corrupt detector state: {error}") from error

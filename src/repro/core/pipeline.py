@@ -28,6 +28,7 @@ from repro.core.config import PipelineConfig
 from repro.core.eia import BasicInFilter, EIACheck
 from repro.core.nns import SearchResult
 from repro.core.scan import ScanAnalyzer, ScanVerdict
+from repro.core.state import StateDict, stateful
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, Stopwatch, get_logger, get_registry
 from repro.util.errors import ConfigError, EngineError, TrainingError
@@ -117,6 +118,7 @@ class BatchResult:
     speculation_misses: int = 0
 
 
+@stateful("stats")
 @dataclass
 class PipelineStats:
     """Operational counters, including per-flow processing latency."""
@@ -193,6 +195,57 @@ class PipelineStats:
         index = min(len(ordered) - 1, int(quantile * len(ordered)))
         return ordered[index]
 
+    # -- the stage-state protocol --------------------------------------------
+
+    def state_dict(self) -> StateDict:
+        """Every counter plus the reservoir and its RNG cursor.
+
+        The reservoir samples (and their seen count) travel with the
+        stats so restored percentiles keep reflecting the whole stream,
+        and the RNG cursor makes post-restart sampling decisions match an
+        uninterrupted run draw for draw.
+        """
+        return {
+            "processed": self.processed,
+            "legal": self.legal,
+            "suspects": self.suspects,
+            "benign": self.benign,
+            "attacks": self.attacks,
+            "absorbed": self.absorbed,
+            "attacks_by_stage": {
+                stage: self.attacks_by_stage[stage]
+                for stage in sorted(self.attacks_by_stage)
+            },
+            "overload_dropped": self.overload_dropped,
+            "overload_flagged": self.overload_flagged,
+            "latency_total_s": self.latency_total_s,
+            "latency_max_s": self.latency_max_s,
+            "latency_samples": list(self.latency_samples),
+            "latency_sample_cap": self.latency_sample_cap,
+            "latency_samples_seen": self.latency_samples_seen,
+            "reservoir_rng": self._reservoir_rng.state_dict(),
+        }
+
+    def load_state(self, state: StateDict) -> None:
+        self.processed = int(state["processed"])
+        self.legal = int(state["legal"])
+        self.suspects = int(state["suspects"])
+        self.benign = int(state["benign"])
+        self.attacks = int(state["attacks"])
+        self.absorbed = int(state["absorbed"])
+        self.attacks_by_stage = {
+            str(stage): int(count)
+            for stage, count in state["attacks_by_stage"].items()
+        }
+        self.overload_dropped = int(state["overload_dropped"])
+        self.overload_flagged = int(state["overload_flagged"])
+        self.latency_total_s = float(state["latency_total_s"])
+        self.latency_max_s = float(state["latency_max_s"])
+        self.latency_samples = [float(sample) for sample in state["latency_samples"]]
+        self.latency_sample_cap = int(state["latency_sample_cap"])
+        self.latency_samples_seen = int(state["latency_samples_seen"])
+        self._reservoir_rng.load_state(state["reservoir_rng"])
+
 
 class _PipelineMetrics:
     """The pipeline's registry handles (see docs/observability.md).
@@ -233,6 +286,7 @@ class _PipelineMetrics:
         self.flow_latency.observe(decision.latency_s)
 
 
+@stateful("pipeline")
 class EnhancedInFilter:
     """The complete detector.
 
@@ -464,7 +518,7 @@ class EnhancedInFilter:
                 spec_hits += 1
             else:
                 spec_misses += 1
-                assessment = self._assess_memoised(record)
+                assessment = self.assess_memoised(record)
             is_normal = assessment.is_normal
             if is_normal is None:
                 is_normal = not self.config.flag_unmodelled_classes
@@ -522,13 +576,19 @@ class EnhancedInFilter:
             speculation_misses=spec_misses,
         )
 
-    def _assess_memoised(self, record: FlowRecord) -> NnsAssessment:
+    def assess_memoised(self, record: FlowRecord) -> NnsAssessment:
         """NNS assessment through the (class, encoding) memo.
 
         Equivalent to ``self.model.assess(record)``: the search is a pure
         function of the immutable trained model and the flow's unary
         encoding, so two flows that bin identically share one search.
+        Public because shard workers (:mod:`repro.engine.worker`) run it
+        on their replicas to speculate NNS results ahead of commit.
         """
+        if self.model is None:
+            raise TrainingError(
+                "enhanced pipeline processed a suspect flow before train()"
+            )
         name = protocol_class(record)
         subcluster = self.model.subclusters.get(name)
         if subcluster is None:
@@ -543,6 +603,58 @@ class EnhancedInFilter:
             assessment = NnsAssessment(is_normal, neighbour, name)
             self._nns_memo[key] = assessment
         return assessment
+
+    # -- the stage-state protocol --------------------------------------------
+
+    @property
+    def alert_counter(self) -> int:
+        """Monotonic IDMEF ident counter; survives warm restarts so a
+        resumed run continues the same ident sequence."""
+        return self._alert_counter
+
+    @alert_counter.setter
+    def alert_counter(self, value: int) -> None:
+        self._alert_counter = int(value)
+
+    def state_dict(self) -> StateDict:
+        """The composed state of every stage, one section per component.
+
+        The NNS memo is a derived cache and is rebuilt lazily; everything
+        else a resumed run could observe — EIA sets, scan suspicion,
+        the trained model, stats, alert history, RNG cursors, overload
+        window — is captured.
+        """
+        return {
+            "eia": self.infilter.state_dict(),
+            "scan": self.scan.state_dict(),
+            "model": self.model.state_dict() if self.model is not None else None,
+            "stats": self.stats.state_dict(),
+            "alerts": self.alert_sink.state_dict(),
+            "alert_counter": self._alert_counter,
+            "rng": self._rng.state_dict(),
+            "overload": {
+                "counter": self._overload_counter,
+                "suspect_times": list(self._suspect_times),
+            },
+        }
+
+    def load_state(self, state: StateDict) -> None:
+        self.infilter.load_state(state["eia"])
+        self.scan.load_state(state["scan"])
+        model_state = state["model"]
+        self.model = (
+            ClusterModel.from_state(self.config.nns, model_state)
+            if model_state is not None
+            else None
+        )
+        self.stats.load_state(state["stats"])
+        self.alert_sink.load_state(state["alerts"])
+        self._alert_counter = int(state["alert_counter"])
+        self._rng.load_state(state["rng"])
+        overload = state["overload"]
+        self._overload_counter = int(overload["counter"])
+        self._suspect_times = deque(int(stamp) for stamp in overload["suspect_times"])
+        self._nns_memo.clear()
 
     # -- internals ------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Optional, Tuple
 
 from repro.core.config import ScanConfig
+from repro.core.state import StateDict, stateful
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, get_logger, get_registry
 
@@ -76,6 +77,7 @@ class _MultiCounter:
         return len(members) if members else 0
 
 
+@stateful("scan")
 class ScanAnalyzer:
     """The Section 4.1 scan detector over a suspect-flow buffer."""
 
@@ -147,3 +149,29 @@ class ScanAnalyzer:
         self._by_port = _MultiCounter()
         self._by_host = _MultiCounter()
         self._m_occupancy.set(0)
+
+    # -- the stage-state protocol --------------------------------------------
+
+    def state_dict(self) -> StateDict:
+        """The buffer contents (oldest first) and completion counters.
+
+        The two multi-counters are derived from the buffer and rebuilt on
+        load — a restart must not lose in-flight scan suspicion, and the
+        buffer is exactly that suspicion.
+        """
+        return {
+            "buffer": [[addr, port] for addr, port in self._buffer],
+            "network_scans_flagged": self.network_scans_flagged,
+            "host_scans_flagged": self.host_scans_flagged,
+        }
+
+    def load_state(self, state: StateDict) -> None:
+        self.reset()
+        for entry in state["buffer"]:
+            dst_addr, dst_port = int(entry[0]), int(entry[1])
+            self._buffer.append((dst_addr, dst_port))
+            self._by_port.add(dst_port, dst_addr)
+            self._by_host.add(dst_addr, dst_port)
+        self.network_scans_flagged = int(state["network_scans_flagged"])
+        self.host_scans_flagged = int(state["host_scans_flagged"])
+        self._m_occupancy.set(len(self._buffer))

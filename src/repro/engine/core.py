@@ -39,11 +39,22 @@ from __future__ import annotations
 import os
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 if TYPE_CHECKING:
     from multiprocessing.context import BaseContext
 
+from repro.core.persistence import save_detector
 from repro.core.pipeline import (
     BatchResult,
     EnhancedInFilter,
@@ -93,6 +104,9 @@ class EngineConfig:
     #: the parallel work), off inline (the replicas would re-run stages
     #: the commit stage performs anyway on the same core).
     speculate: Optional[bool] = None
+    #: Checkpoint the authoritative detector every N committed batches
+    #: (0 disables).  Needs a ``checkpoint_path`` on the engine.
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -109,6 +123,10 @@ class EngineConfig:
         if self.mode not in (MODE_AUTO, MODE_INLINE, MODE_PROCESS):
             raise ConfigError(
                 f"mode must be one of auto/inline/process, got {self.mode!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise ConfigError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
 
 
@@ -156,9 +174,20 @@ class ShardedIngestEngine:
         config: Optional[EngineConfig] = None,
         *,
         registry: Optional[MetricsRegistry] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        cursor_base: int = 0,
     ) -> None:
         self.detector = detector
         self.config = config if config is not None else EngineConfig()
+        if self.config.checkpoint_every > 0 and checkpoint_path is None:
+            raise ConfigError(
+                "checkpoint_every needs a checkpoint_path to write to"
+            )
+        if cursor_base < 0:
+            raise ConfigError(f"cursor_base must be >= 0, got {cursor_base}")
+        self._checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
         registry = registry if registry is not None else detector.registry
         self.registry = registry
         self.router = ShardRouter(
@@ -189,6 +218,11 @@ class ShardedIngestEngine:
         self._bp_wait_s = 0.0
         self._deltas_routed = 0
         self._closed = False
+        #: Records committed through the authoritative detector, counted
+        #: from ``cursor_base`` — the resume offset written into every
+        #: checkpoint this engine takes.
+        self._cursor = cursor_base
+        self._checkpoints = 0
 
         self._m_batches = registry.counter(
             "infilter_engine_batches_total",
@@ -230,6 +264,14 @@ class ShardedIngestEngine:
         self._m_deltas = registry.counter(
             "infilter_engine_absorption_deltas_total",
             "EIA absorption deltas routed to shard replica logs.",
+        )
+        self._m_checkpoints = registry.counter(
+            "infilter_engine_checkpoints_total",
+            "Detector checkpoints written at batch boundaries.",
+        )
+        self._m_checkpoint_s = registry.histogram(
+            "infilter_engine_checkpoint_seconds",
+            "Time spent rendering and atomically writing one checkpoint.",
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -412,7 +454,41 @@ class ShardedIngestEngine:
             self._delta_logs[shard].append((peer, block))
             self._deltas_routed += 1
             self._m_deltas.inc()
+        self._cursor += len(batch)
+        if (
+            self.config.checkpoint_every > 0
+            and self._batches % self.config.checkpoint_every == 0
+        ):
+            self.checkpoint()
         return result
+
+    def checkpoint(self) -> int:
+        """Write an atomic detector checkpoint at the current cursor.
+
+        Safe at any batch boundary: the commit plane is serial, so the
+        detector's state plus the cursor fully describe the run — a new
+        engine over ``records[cursor:]`` with ``cursor_base=cursor``
+        continues exactly where this one would have.  Returns the cursor
+        written.
+        """
+        if self._checkpoint_path is None:
+            raise ConfigError("engine has no checkpoint_path configured")
+        watch = Stopwatch()
+        save_detector(
+            self.detector, self._checkpoint_path, cursor=self._cursor
+        )
+        self._checkpoints += 1
+        self._m_checkpoints.inc()
+        self._m_checkpoint_s.observe(watch.elapsed_s())
+        log.info(
+            "engine checkpoint written",
+            extra={
+                "path": str(self._checkpoint_path),
+                "cursor": self._cursor,
+                "batches": self._batches,
+            },
+        )
+        return self._cursor
 
     # -- reporting -----------------------------------------------------------
 
@@ -434,6 +510,7 @@ class ShardedIngestEngine:
             backpressure_waits=self._bp_waits,
             backpressure_wait_s=self._bp_wait_s,
             absorption_deltas=self._deltas_routed,
+            checkpoints=self._checkpoints,
             stats=self.detector.stats,
             worker_registries=worker_registries,
         )

@@ -133,6 +133,8 @@ class EngineReport:
     absorption_deltas: int
     #: the authoritative detector's stats — exact, serial-equivalent.
     stats: PipelineStats
+    #: detector checkpoints written at batch boundaries this run.
+    checkpoints: int = 0
     #: merged shard-worker registry snapshot (replica EIA/scan metrics
     #: plus worker speculation counters); empty when speculation was off.
     worker_metrics: Dict[str, object] = field(default_factory=dict)
@@ -156,6 +158,7 @@ class EngineReport:
         backpressure_wait_s: float,
         absorption_deltas: int,
         stats: PipelineStats,
+        checkpoints: int = 0,
         worker_registries: Sequence[MetricsRegistry] = (),
     ) -> "EngineReport":
         worker_metrics: Dict[str, object] = {}
@@ -172,6 +175,7 @@ class EngineReport:
             backpressure_wait_s=backpressure_wait_s,
             absorption_deltas=absorption_deltas,
             stats=stats,
+            checkpoints=checkpoints,
             worker_metrics=worker_metrics,
         )
 
@@ -195,4 +199,6 @@ class EngineReport:
                 f"backpressure: {self.backpressure_waits} wait(s),"
                 f" {self.backpressure_wait_s:.3f}s total"
             )
+        if self.checkpoints:
+            lines.append(f"checkpoints: {self.checkpoints} written")
         return "\n".join(lines)

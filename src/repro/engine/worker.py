@@ -34,6 +34,7 @@ from repro.core.alerts import AlertSink
 from repro.core.clusters import ClusterModel
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import EnhancedInFilter, NnsAssessment
+from repro.core.state import StateDict
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, snapshot
 from repro.util.errors import EngineError
@@ -47,21 +48,25 @@ Delta = Tuple[int, Prefix]
 
 @dataclass(frozen=True)
 class DetectorTemplate:
-    """The picklable state a shard replica is built from."""
+    """The picklable state a shard replica is built from.
+
+    ``eia_state`` is the authoritative :class:`~repro.core.BasicInFilter`'s
+    full stage-state section — sets *and* pending learning counters — so
+    replicas start from the protocol's own capture rather than a private
+    reconstruction.  (Replica pending counters are inert: ``speculate``
+    never runs the learning rule, so carrying them is free and uniform.)
+    """
 
     config: PipelineConfig
     model: Optional[ClusterModel]
-    eia_sets: Dict[int, Tuple[Prefix, ...]]
+    eia_state: StateDict
 
     @classmethod
     def from_detector(cls, detector: EnhancedInFilter) -> "DetectorTemplate":
         return cls(
             config=detector.config,
             model=detector.model,
-            eia_sets={
-                peer: tuple(detector.infilter.eia_set(peer).prefixes())
-                for peer in detector.infilter.peers()
-            },
+            eia_state=detector.infilter.state_dict(),
         )
 
 
@@ -97,8 +102,7 @@ class ShardWorker:
             alert_sink=AlertSink(registry=self.registry),
             registry=self.registry,
         )
-        for peer, prefixes in template.eia_sets.items():
-            replica.preload_eia(peer, prefixes)
+        replica.infilter.load_state(template.eia_state)
         # The trained model is immutable; share (or unpickle) it rather
         # than retraining per replica.
         replica.model = template.model
@@ -148,7 +152,7 @@ class ShardWorker:
                 assessments.append(None)
                 continue
             outcomes["assessed"] += 1
-            assessments.append(replica._assess_memoised(record))
+            assessments.append(replica.assess_memoised(record))
         return SpeculationResult(
             shard=self.shard,
             assessments=assessments,

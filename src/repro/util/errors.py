@@ -19,6 +19,7 @@ __all__ = [
     "TrainingError",
     "ExperimentError",
     "EngineError",
+    "StateError",
 ]
 
 
@@ -64,3 +65,7 @@ class ExperimentError(ReproError, RuntimeError):
 
 class EngineError(ReproError, RuntimeError):
     """The sharded ingest engine violated or detected a usage contract."""
+
+
+class StateError(ReproError, RuntimeError):
+    """A detector checkpoint could not be written, read, or parsed."""

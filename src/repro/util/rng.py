@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, List, Sequence, TypeVar
+from typing import Any, Dict, Iterable, List, Sequence, TypeVar
 
 from repro.util.errors import ConfigError
 
@@ -50,6 +50,37 @@ class SeededRng:
     def fork(self, name: str) -> "SeededRng":
         """An independent child stream identified by ``name``."""
         return SeededRng(derive_seed(self.seed, name), f"{self.name}/{name}")
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Capture seed, name, and the stream cursor (warm-restart state).
+
+        ``fork`` derives children from the *seed* alone, so the cursor
+        only matters for draws made directly on this stream — but those
+        are exactly what a warm restart must not replay.
+        """
+        version, internal, gauss_next = self._random.getstate()
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "cursor": {
+                "version": version,
+                "internal": list(internal),
+                "gauss_next": gauss_next,
+            },
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore the stream to a captured cursor, in place."""
+        self.seed = int(state["seed"])
+        self.name = str(state["name"])
+        cursor = state["cursor"]
+        self._random.setstate(
+            (
+                int(cursor["version"]),
+                tuple(int(word) for word in cursor["internal"]),
+                cursor["gauss_next"],
+            )
+        )
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in the inclusive range [low, high]."""

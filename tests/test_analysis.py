@@ -387,6 +387,109 @@ class TestRep008ScopedIgnores:
         assert findings == []
 
 
+class TestRep009StateProtocol:
+    GOOD_PAIR = (
+        "class Component:\n"
+        "    def state_dict(self):\n"
+        "        return {}\n\n"
+        "    def load_state(self, state):\n"
+        "        return None\n"
+    )
+
+    def test_flags_missing_load_state(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "class Component:\n"
+            "    def state_dict(self):\n"
+            "        return {}\n",
+            select=["REP009"],
+        )
+        assert rules_of(findings) == ["REP009"]
+        assert "load_state" in findings[0].message
+
+    def test_flags_missing_state_dict(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "class Component:\n"
+            "    def load_state(self, state):\n"
+            "        return None\n",
+            select=["REP009"],
+        )
+        assert rules_of(findings) == ["REP009"]
+        assert "state_dict" in findings[0].message
+
+    def test_flags_decorated_class_without_methods(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from repro.core.state import stateful\n\n\n"
+            "@stateful('widget')\n"
+            "class Widget:\n"
+            "    pass\n",
+            select=["REP009"],
+        )
+        assert rules_of(findings) == ["REP009", "REP009"]
+
+    def test_flags_wrong_signature(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "class Component:\n"
+            "    def state_dict(self, verbose=False):\n"
+            "        return {}\n\n"
+            "    def load_state(self, state):\n"
+            "        return None\n",
+            select=["REP009"],
+        )
+        assert rules_of(findings) == ["REP009"]
+        assert "(self)" in findings[0].message
+
+    def test_complete_pair_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, self.GOOD_PAIR, select=["REP009"])
+        assert findings == []
+
+    def test_persistence_module_may_not_touch_underscores(self, tmp_path):
+        (tmp_path / "repro" / "core").mkdir(parents=True)
+        findings = lint_source(
+            tmp_path,
+            "def peek(detector):\n"
+            "    return detector._alert_counter\n",
+            name="repro/core/persistence.py",
+            select=["REP009"],
+        )
+        assert rules_of(findings) == ["REP009"]
+        assert "_alert_counter" in findings[0].message
+
+    def test_underscore_access_elsewhere_is_not_rep009(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def peek(detector):\n"
+            "    return detector._alert_counter\n",
+            select=["REP009"],
+        )
+        assert findings == []
+
+    def test_dunder_access_in_persistence_is_fine(self, tmp_path):
+        (tmp_path / "repro" / "core").mkdir(parents=True)
+        findings = lint_source(
+            tmp_path,
+            "def name_of(obj):\n"
+            "    return obj.__class__\n",
+            name="repro/core/persistence.py",
+            select=["REP009"],
+        )
+        assert findings == []
+
+    def test_file_pragma_suppresses(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "# repro: allow-file[REP009] -- scratch\n"
+            "class Component:\n"
+            "    def state_dict(self):\n"
+            "        return {}\n",
+            select=["REP009"],
+        )
+        assert findings == []
+
+
 class TestPragmas:
     def test_standalone_pragma_covers_next_line(self, tmp_path):
         findings = lint_source(

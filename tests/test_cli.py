@@ -160,6 +160,176 @@ class TestDetect:
         assert "flagged as attacks" in second_out
 
 
+class TestCheckpointResume:
+    def test_checkpoint_every_needs_save_state(self, plan_file, normal_file, capsys):
+        assert (
+            main(
+                ["detect", normal_file, plan_file, "--basic",
+                 "--checkpoint-every", "10"]
+            )
+            == 2
+        )
+        assert "--save-state" in capsys.readouterr().err
+
+    def test_checkpoint_every_must_be_positive(
+        self, tmp_path, plan_file, normal_file, capsys
+    ):
+        state = tmp_path / "state.json"
+        assert (
+            main(
+                ["detect", normal_file, plan_file, "--basic",
+                 "--save-state", str(state), "--checkpoint-every", "0"]
+            )
+            == 2
+        )
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def test_resume_needs_load_state(self, plan_file, normal_file, capsys):
+        assert (
+            main(["detect", normal_file, plan_file, "--basic", "--resume"])
+            == 2
+        )
+        assert "--load-state" in capsys.readouterr().err
+
+    def test_resume_needs_a_cursor(
+        self, tmp_path, plan_file, normal_file, capsys
+    ):
+        state = tmp_path / "state.json"
+        # A plain save (no --checkpoint-every) carries no cursor.
+        assert (
+            main(
+                ["detect", normal_file, plan_file, "--basic",
+                 "--save-state", str(state)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                ["detect", normal_file, "--load-state", str(state), "--resume"]
+            )
+            == 2
+        )
+        assert "no cursor" in capsys.readouterr().err
+
+    def test_checkpointed_run_resumes_to_completion(
+        self, tmp_path, plan_file, normal_file, capsys
+    ):
+        state = tmp_path / "state.json"
+        assert (
+            main(
+                ["detect", normal_file, plan_file, "--basic",
+                 "--save-state", str(state), "--checkpoint-every", "64"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # The run completed, so its final checkpoint covers the whole
+        # file and a --resume restart has nothing left to process.
+        assert (
+            main(
+                ["detect", normal_file, "--load-state", str(state), "--resume"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resuming at record 400 of 400" in out
+        assert "processed 0 flows" in out
+
+    def test_engine_checkpoint_run_reports_checkpoints(
+        self, tmp_path, plan_file, normal_file, capsys
+    ):
+        state = tmp_path / "state.json"
+        assert (
+            main(
+                ["detect", normal_file, plan_file, "--basic",
+                 "--shards", "2", "--batch-size", "50",
+                 "--save-state", str(state), "--checkpoint-every", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "checkpoints:" in out
+        from repro.core.persistence import load_checkpoint
+
+        _detector, cursor = load_checkpoint(state)
+        assert cursor == 400
+
+    def test_second_run_reports_per_run_counts(
+        self, tmp_path, plan_file, normal_file, capsys
+    ):
+        """A restored detector's cumulative stats must not leak into the
+        next run's summary — in either execution path."""
+        state = tmp_path / "state.json"
+        attack = tmp_path / "atk.bin"
+        main(["synth", str(attack), "--attack", "slammer", "--spoof"])
+        assert (
+            main(
+                ["detect", str(attack), plan_file,
+                 "--training-file", normal_file,
+                 "--save-state", str(state)]
+            )
+            == 0
+        )
+        first_out = capsys.readouterr().out
+        assert "flagged as attacks" in first_out
+        # Second run sees only legal traffic; with per-run counting both
+        # the inline and the engine paths report zero attacks.
+        for extra in ([], ["--shards", "2"]):
+            assert (
+                main(
+                    ["detect", normal_file, "--load-state", str(state)] + extra
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "processed 400 flows" in out
+            assert "0 flagged as attacks" in out
+
+
+class TestStateInspect:
+    def test_inspect_text_output(self, tmp_path, plan_file, normal_file, capsys):
+        state = tmp_path / "state.json"
+        assert (
+            main(
+                ["detect", normal_file, plan_file,
+                 "--training-file", normal_file,
+                 "--save-state", str(state), "--checkpoint-every", "100"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["state", "inspect", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "format: v2" in out
+        assert "cursor: 400" in out
+        assert "trained: yes" in out
+        assert "peers:" in out
+        assert "stats: processed=400" in out
+
+    def test_inspect_json_output(self, tmp_path, plan_file, normal_file, capsys):
+        import json
+
+        state = tmp_path / "state.json"
+        assert (
+            main(
+                ["detect", normal_file, plan_file, "--basic",
+                 "--save-state", str(state)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["state", "inspect", str(state), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == 2
+        assert payload["cursor"] is None
+        assert payload["trained"] is False
+
+    def test_inspect_missing_file_errors(self, tmp_path, capsys):
+        assert main(["state", "inspect", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestConvert:
     def test_binary_to_ascii_round_trip(self, tmp_path, normal_file, capsys):
         ascii_path = tmp_path / "flows.txt"

@@ -1,22 +1,33 @@
-"""Tests for detector save/load."""
+"""Tests for versioned, atomic detector checkpoints (the v2 format)."""
 
 import io
+import json
+import os
 
 import pytest
 
 from repro.core import EnhancedInFilter, PipelineConfig, EIAConfig
-from repro.core.persistence import load_detector, save_detector
+from repro.core.clusters import ClusterModel
+from repro.core.persistence import (
+    STATE_FORMAT_VERSION,
+    describe_state,
+    load_checkpoint,
+    load_detector,
+    render_state,
+    save_detector,
+    _config_to_dict,
+)
 from repro.flowgen import Dagflow, generate_attack, synthesize_trace
 from repro.util import Prefix, SeededRng
-from repro.util.errors import ConfigError, ReproError
+from repro.util.errors import ReproError, StateError
 
 WEST = Prefix.parse("24.0.0.0/11")
 EAST = Prefix.parse("144.0.0.0/11")
 TARGET = Prefix.parse("198.18.0.0/16")
 
 
-def build_trained(seed=77):
-    rng = SeededRng(seed, "persist")
+def build_trained(seed=77, rng=None):
+    rng = rng if rng is not None else SeededRng(seed, "persist")
     detector = EnhancedInFilter(
         PipelineConfig(eia=EIAConfig(learning_threshold=4)), rng=rng.fork("det")
     )
@@ -48,9 +59,9 @@ def probe_records(seed=78, attack="http_exploit"):
 
 class TestRoundTrip:
     def test_identical_decisions_after_restore(self):
-        detector, training = build_trained()
+        detector, _training = build_trained()
         buffer = io.StringIO()
-        save_detector(detector, buffer, training_records=training)
+        save_detector(detector, buffer)
         buffer.seek(0)
         restored = load_detector(buffer)
 
@@ -60,9 +71,9 @@ class TestRoundTrip:
         assert original_verdicts == restored_verdicts
 
     def test_thresholds_and_eia_restored(self):
-        detector, training = build_trained()
+        detector, _training = build_trained()
         buffer = io.StringIO()
-        save_detector(detector, buffer, training_records=training)
+        save_detector(detector, buffer)
         buffer.seek(0)
         restored = load_detector(buffer)
         assert restored.model.thresholds() == detector.model.thresholds()
@@ -71,7 +82,7 @@ class TestRoundTrip:
         assert restored.infilter.expected_peer_for(EAST.nth_address(1)) == 1
 
     def test_pending_counters_restored(self):
-        detector, training = build_trained()
+        detector, _training = build_trained()
         # Accumulate two of the four benign observations for a new block.
         newcomer = probe_records()[0].with_key(
             src_addr=Prefix.parse("203.0.0.0/11").nth_address(1)
@@ -79,7 +90,7 @@ class TestRoundTrip:
         detector.infilter.note_benign(newcomer)
         detector.infilter.note_benign(newcomer)
         buffer = io.StringIO()
-        save_detector(detector, buffer, training_records=training)
+        save_detector(detector, buffer)
         buffer.seek(0)
         restored = load_detector(buffer)
         # Two more observations absorb on the restored detector (4 total).
@@ -87,7 +98,7 @@ class TestRoundTrip:
         assert restored.infilter.note_benign(newcomer)
 
     def test_alert_idents_continue(self):
-        detector, training = build_trained()
+        detector, _training = build_trained()
         # Attack-only probes: benign suspects would trigger absorption at
         # the low learning threshold and legalise the source blocks.
         rng = SeededRng(80, "idents")
@@ -106,7 +117,7 @@ class TestRoundTrip:
         n_alerts = len(detector.alert_sink)
         assert n_alerts > 0
         buffer = io.StringIO()
-        save_detector(detector, buffer, training_records=training)
+        save_detector(detector, buffer)
         buffer.seek(0)
         restored = load_detector(buffer)
         decision = restored.process(probe_records(seed=79, attack="jolt")[-1])
@@ -114,10 +125,39 @@ class TestRoundTrip:
         # Ident numbering continues where the saved detector stopped.
         assert int(decision.alert.ident.split("-")[1]) == n_alerts + 1
 
+    def test_alert_history_survives_restore(self):
+        detector, _training = build_trained()
+        for record in probe_records():
+            detector.process(record)
+        buffer = io.StringIO()
+        save_detector(detector, buffer)
+        buffer.seek(0)
+        restored = load_detector(buffer)
+        assert [a.ident for a in restored.alert_sink.alerts] == [
+            a.ident for a in detector.alert_sink.alerts
+        ]
+
+    def test_live_stats_and_scan_state_survive_restore(self):
+        detector, _training = build_trained()
+        for record in probe_records():
+            detector.process(record)
+        buffer = io.StringIO()
+        save_detector(detector, buffer)
+        buffer.seek(0)
+        restored = load_detector(buffer)
+        ref, got = detector.stats, restored.stats
+        assert (got.processed, got.legal, got.suspects, got.benign,
+                got.attacks, got.absorbed, got.attacks_by_stage) == (
+            ref.processed, ref.legal, ref.suspects, ref.benign,
+            ref.attacks, ref.absorbed, ref.attacks_by_stage,
+        )
+        assert got.latency_samples == ref.latency_samples
+        assert restored.scan.state_dict() == detector.scan.state_dict()
+
     def test_file_path_round_trip(self, tmp_path):
-        detector, training = build_trained()
+        detector, _training = build_trained()
         path = tmp_path / "state.json"
-        save_detector(detector, path, training_records=training)
+        save_detector(detector, path)
         restored = load_detector(path)
         assert restored.model is not None
 
@@ -132,16 +172,216 @@ class TestRoundTrip:
         assert not restored.config.enhanced
 
 
-class TestErrors:
-    def test_trained_detector_requires_training_records(self):
+class TestByteIdentity:
+    def test_save_load_save_is_byte_identical(self):
         detector, _training = build_trained()
-        with pytest.raises(ConfigError):
-            save_detector(detector, io.StringIO())
+        for record in probe_records():
+            detector.process(record)
+        first = render_state(detector, cursor=80)
+        restored, cursor = load_checkpoint(io.StringIO(first))
+        assert cursor == 80
+        assert render_state(restored, cursor=cursor) == first
 
+    def test_untrained_byte_identity(self):
+        detector = EnhancedInFilter(PipelineConfig.basic(), rng=SeededRng(1))
+        detector.preload_eia(0, [WEST])
+        first = render_state(detector)
+        assert render_state(load_detector(io.StringIO(first))) == first
+
+    def test_rendered_state_is_canonical_json(self):
+        detector, _training = build_trained()
+        text = render_state(detector)
+        document = json.loads(text)
+        assert document["format"] == STATE_FORMAT_VERSION
+        # Canonical form: re-dumping with the same options is a no-op.
+        assert json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        ) == text
+
+
+class TestCursor:
+    def test_cursor_round_trips(self, tmp_path):
+        detector, _training = build_trained()
+        path = tmp_path / "ckpt.json"
+        save_detector(detector, path, cursor=4321)
+        _restored, cursor = load_checkpoint(path)
+        assert cursor == 4321
+
+    def test_plain_save_has_no_cursor(self):
+        detector, _training = build_trained()
+        buffer = io.StringIO()
+        save_detector(detector, buffer)
+        buffer.seek(0)
+        _restored, cursor = load_checkpoint(buffer)
+        assert cursor is None
+
+
+class TestNoRetraining:
+    def test_v2_load_never_replays_training(self, monkeypatch):
+        detector, _training = build_trained()
+        text = render_state(detector)
+
+        def forbidden(*_args, **_kwargs):
+            raise AssertionError("v2 load must not retrain the model")
+
+        monkeypatch.setattr(ClusterModel, "train", forbidden)
+        restored = load_detector(io.StringIO(text))
+        assert restored.model is not None
+        assert restored.model.thresholds() == detector.model.thresholds()
+
+
+def v1_document(detector, training, *, rng_seed, rng_name):
+    """A checkpoint in the exact shape the v1 writer emitted."""
+    return {
+        "format": 1,
+        "config": _config_to_dict(detector.config),
+        "rng": {"seed": rng_seed, "name": rng_name},
+        "eia_sets": {
+            str(peer): [
+                str(prefix)
+                for prefix in detector.infilter.eia_set(peer).prefixes()
+            ]
+            for peer in detector.infilter.peers()
+        },
+        "pending": [
+            {"peer": peer, "prefix": str(prefix), "count": count}
+            for (peer, prefix), count in sorted(
+                detector.infilter.pending_counts().items(),
+                key=lambda item: (item[0][0], str(item[0][1])),
+            )
+        ],
+        "alert_counter": detector.alert_counter,
+        "trained": detector.model is not None,
+        "training": [
+            {
+                "src": record.key.src_addr,
+                "dst": record.key.dst_addr,
+                "proto": record.key.protocol,
+                "sport": record.key.src_port,
+                "dport": record.key.dst_port,
+                "iface": record.key.input_if,
+                "packets": record.packets,
+                "octets": record.octets,
+                "first": record.first,
+                "last": record.last,
+            }
+            for record in training
+        ],
+    }
+
+
+class TestV1BackwardCompat:
+    def test_v1_document_still_loads(self):
+        rng = SeededRng(77, "persist")
+        detector, training = build_trained(rng=rng)
+        det_rng = rng.fork("det")
+        document = v1_document(
+            detector, training, rng_seed=det_rng.seed, rng_name=det_rng.name
+        )
+        restored, cursor = load_checkpoint(io.StringIO(json.dumps(document)))
+        assert cursor is None
+        assert restored.model.thresholds() == detector.model.thresholds()
+        assert restored.infilter.peers() == [0, 1]
+        probes = probe_records()
+        assert [restored.process(r).verdict for r in probes] == [
+            detector.process(r).verdict for r in probes
+        ]
+
+    def test_v1_alert_counter_restored(self):
+        rng = SeededRng(81, "persist-v1")
+        detector, training = build_trained(rng=rng)
+        detector.alert_counter = 42
+        det_rng = rng.fork("det")
+        document = v1_document(
+            detector, training, rng_seed=det_rng.seed, rng_name=det_rng.name
+        )
+        restored = load_detector(io.StringIO(json.dumps(document)))
+        assert restored.alert_counter == 42
+
+
+class TestAtomicWrite:
+    def test_crash_during_replace_preserves_old_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        detector, _training = build_trained()
+        path = tmp_path / "state.json"
+        save_detector(detector, path)
+        original = path.read_text()
+
+        detector.process(probe_records()[0])
+
+        def crash(_src, _dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(StateError):
+            save_detector(detector, path)
+        # The previous complete checkpoint is untouched and the torn
+        # temp file was cleaned up.
+        assert path.read_text() == original
+        assert not path.with_name("state.json.tmp").exists()
+
+    def test_no_temp_file_left_after_success(self, tmp_path):
+        detector, _training = build_trained()
+        path = tmp_path / "state.json"
+        save_detector(detector, path)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestDescribeState:
+    def test_v2_summary(self, tmp_path):
+        detector, _training = build_trained()
+        for record in probe_records():
+            detector.process(record)
+        path = tmp_path / "ckpt.json"
+        save_detector(detector, path, cursor=80)
+        summary = describe_state(path)
+        assert summary["format"] == STATE_FORMAT_VERSION
+        assert summary["cursor"] == 80
+        assert summary["trained"]
+        assert summary["peers"] == {
+            str(peer): len(detector.infilter.eia_set(peer).prefixes())
+            for peer in detector.infilter.peers()
+        }
+        assert summary["stats"]["processed"] == detector.stats.processed
+        assert summary["alerts"] == len(detector.alert_sink)
+
+    def test_v1_summary(self):
+        rng = SeededRng(77, "persist")
+        detector, training = build_trained(rng=rng)
+        det_rng = rng.fork("det")
+        document = v1_document(
+            detector, training, rng_seed=det_rng.seed, rng_name=det_rng.name
+        )
+        summary = describe_state(io.StringIO(json.dumps(document)))
+        assert summary["format"] == 1
+        assert summary["cursor"] is None
+        assert summary["trained"]
+        assert summary["training_records"] == len(training)
+
+
+class TestErrors:
     def test_malformed_json(self):
-        with pytest.raises(ReproError):
+        with pytest.raises(StateError):
             load_detector(io.StringIO("not json"))
+
+    def test_non_object_document(self):
+        with pytest.raises(StateError):
+            load_detector(io.StringIO("[1, 2, 3]"))
 
     def test_unknown_format_version(self):
         with pytest.raises(ReproError):
             load_detector(io.StringIO('{"format": 99}'))
+
+    def test_corrupt_v2_document(self):
+        with pytest.raises(StateError):
+            load_detector(io.StringIO('{"format": 2, "cursor": null}'))
+
+    def test_missing_checkpoint_file(self, tmp_path):
+        with pytest.raises(StateError):
+            load_detector(tmp_path / "nope.json")
+
+    def test_state_error_is_a_repro_error(self):
+        assert issubclass(StateError, ReproError)
+        assert issubclass(StateError, RuntimeError)

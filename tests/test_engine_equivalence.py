@@ -15,6 +15,7 @@ from typing import List
 import pytest
 
 from repro.core import EIAConfig, PipelineConfig
+from repro.core.persistence import load_checkpoint
 from repro.engine import EngineConfig, ShardedIngestEngine
 from repro.flowgen import Dagflow, generate_attack, synthesize_trace
 from repro.util import SeededRng
@@ -219,3 +220,136 @@ def test_absorptions_happen_and_are_routed(
     checks trivially pass)."""
     serial_detector, _ = serial_reference
     assert serial_detector.stats.absorbed >= 2
+
+
+# -- warm restart: kill an engine run mid-stream and resume -------------------
+
+
+def _assert_warm_restart_equivalent(detector, serial_reference):
+    """Cumulative observables equal the uninterrupted serial run's."""
+    serial_detector, _ = serial_reference
+    ref, got = serial_detector.stats, detector.stats
+    assert (got.processed, got.legal, got.suspects, got.benign, got.attacks,
+            got.absorbed, got.attacks_by_stage) == (
+        ref.processed, ref.legal, ref.suspects, ref.benign, ref.attacks,
+        ref.absorbed, ref.attacks_by_stage,
+    )
+    assert _eia_state(detector) == _eia_state(serial_detector)
+    assert [a.ident for a in detector.alert_sink.alerts] == [
+        a.ident for a in serial_detector.alert_sink.alerts
+    ]
+
+
+def test_killed_and_resumed_run_matches_uninterrupted(
+    eia_plan, target_prefix, mixed_trace, serial_reference, tmp_path
+):
+    """Kill after a checkpoint boundary, resume from the checkpoint file:
+    the stitched run's decisions, stats, EIA state, and alert stream are
+    identical to an uninterrupted run (and hence to serial)."""
+    path = tmp_path / "engine.ckpt"
+    detector = _build_detector(eia_plan, target_prefix)
+    engine = ShardedIngestEngine(
+        detector,
+        EngineConfig(
+            shards=2, batch_size=111, mode="inline", checkpoint_every=2
+        ),
+        checkpoint_path=path,
+    )
+    # The "killed" first run: 4 full batches; checkpoints land after
+    # batches 2 and 4, so the file ends at cursor 444.
+    with engine:
+        report = engine.run(mixed_trace[:444])
+    assert report.checkpoints == 2
+
+    restored, cursor = load_checkpoint(path)
+    assert cursor == 444
+    resumed = ShardedIngestEngine(
+        restored,
+        EngineConfig(
+            shards=2, batch_size=111, mode="inline", checkpoint_every=2
+        ),
+        checkpoint_path=path,
+        cursor_base=cursor,
+    )
+    with resumed:
+        resumed_report = resumed.run(mixed_trace[cursor:])
+    assert resumed_report.flows == len(mixed_trace) - cursor
+    _assert_warm_restart_equivalent(restored, serial_reference)
+
+    # The resumed tail is 337 records = 4 batches, so its last batch
+    # lands on a checkpoint boundary: the final checkpoint file covers
+    # the whole stream.
+    assert resumed_report.checkpoints == 2
+    _final, final_cursor = load_checkpoint(path)
+    assert final_cursor == len(mixed_trace)
+
+
+def test_resume_from_mid_stream_checkpoint_under_speculation(
+    eia_plan, target_prefix, mixed_trace, serial_reference, tmp_path
+):
+    """Shard speculation on both sides of the restart changes nothing."""
+    path = tmp_path / "engine.ckpt"
+    detector = _build_detector(eia_plan, target_prefix)
+    engine = ShardedIngestEngine(
+        detector,
+        EngineConfig(
+            shards=4, batch_size=74, mode="inline", speculate=True,
+            checkpoint_every=3,
+        ),
+        checkpoint_path=path,
+    )
+    with engine:
+        engine.run(mixed_trace[:444])
+    restored, cursor = load_checkpoint(path)
+    # 444 records = 6 batches of 74: checkpoints after batches 3 and 6.
+    assert cursor == 444
+    resumed = ShardedIngestEngine(
+        restored,
+        EngineConfig(shards=4, batch_size=74, mode="inline", speculate=True),
+        cursor_base=cursor,
+    )
+    with resumed:
+        resumed.run(mixed_trace[cursor:])
+    _assert_warm_restart_equivalent(restored, serial_reference)
+
+
+def test_checkpoint_every_requires_a_path(eia_plan, target_prefix):
+    detector = _build_detector(eia_plan, target_prefix)
+    with pytest.raises(ConfigError):
+        ShardedIngestEngine(
+            detector, EngineConfig(mode="inline", checkpoint_every=2)
+        )
+
+
+def test_negative_cursor_base_rejected(eia_plan, target_prefix):
+    detector = _build_detector(eia_plan, target_prefix)
+    with pytest.raises(ConfigError):
+        ShardedIngestEngine(
+            detector, EngineConfig(mode="inline"), cursor_base=-1
+        )
+
+
+def test_explicit_checkpoint_call(eia_plan, target_prefix, mixed_trace, tmp_path):
+    """``checkpoint()`` on demand writes the current cursor."""
+    path = tmp_path / "manual.ckpt"
+    detector = _build_detector(eia_plan, target_prefix)
+    engine = ShardedIngestEngine(
+        detector, EngineConfig(mode="inline", batch_size=100),
+        checkpoint_path=path,
+    )
+    for record in mixed_trace[:250]:
+        engine.submit(record)
+    engine.flush()
+    cursor = engine.checkpoint()
+    engine.close()
+    assert cursor == 250
+    _restored, read_cursor = load_checkpoint(path)
+    assert read_cursor == 250
+
+
+def test_checkpoint_without_path_rejected(eia_plan, target_prefix):
+    detector = _build_detector(eia_plan, target_prefix)
+    engine = ShardedIngestEngine(detector, EngineConfig(mode="inline"))
+    with pytest.raises(ConfigError):
+        engine.checkpoint()
+    engine.close()
