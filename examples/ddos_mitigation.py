@@ -12,6 +12,7 @@ source addresses claim.
 Run:  python examples/ddos_mitigation.py
 """
 
+import os
 from collections import Counter
 
 from repro.core import PipelineConfig
@@ -19,17 +20,23 @@ from repro.flowgen import generate_attack, synthesize_trace
 from repro.testbed import Testbed, TestbedConfig
 from repro.util import SeededRng
 
+#: The CI examples-smoke job sets INFILTER_EXAMPLE_QUICK=1 to bound
+#: iteration counts; the full-size run is the default.
+QUICK = os.environ.get("INFILTER_EXAMPLE_QUICK") == "1"
+
 
 def main() -> None:
     rng = SeededRng(777)
-    testbed = Testbed(TestbedConfig(training_flows=3000), rng=rng)
+    testbed = Testbed(
+        TestbedConfig(training_flows=600 if QUICK else 3000), rng=rng
+    )
     detector = testbed.build_detector(PipelineConfig())
 
     # Background traffic on every peer, plus TFN2K agents entering via
     # peers 2, 5 and 8 with spoofed sources.
     streams = []
     for peer in range(10):
-        trace = synthesize_trace(400, rng=rng.fork(f"bg-{peer}"))
+        trace = synthesize_trace(80 if QUICK else 400, rng=rng.fork(f"bg-{peer}"))
         streams.append(
             (peer, testbed.normal_dagflow(peer, testbed.eia_plan[peer]).replay(trace))
         )

@@ -16,6 +16,8 @@ and preloading a Basic InFilter with it.
 Run:  python examples/hypothesis_validation.py
 """
 
+import os
+
 from repro.core import BasicInFilter, EIAConfig
 from repro.routing import (
     RouteCollector,
@@ -33,11 +35,18 @@ from repro.validation import (
     run_traceroute_study,
 )
 
+#: The CI examples-smoke job sets INFILTER_EXAMPLE_QUICK=1 to bound
+#: iteration counts; the full-size run is the default.
+QUICK = os.environ.get("INFILTER_EXAMPLE_QUICK") == "1"
+
 
 def main() -> None:
-    print("== traceroute study (12 sites x 10 targets, 12h @ 30min) ==")
+    tr_hours = 3 if QUICK else 12
+    print(f"== traceroute study (12 sites x 10 targets, {tr_hours}h @ 30min) ==")
     tr = run_traceroute_study(
-        TracerouteStudyConfig(n_sites=12, n_targets=10, duration_s=12 * HOUR)
+        TracerouteStudyConfig(
+            n_sites=12, n_targets=10, duration_s=tr_hours * HOUR
+        )
     )
     print(f"samples: {tr.samples} ({tr.incomplete} incomplete)")
     print(f"raw last-hop change rate:        {tr.raw_change_rate:.2%}")
@@ -45,8 +54,11 @@ def main() -> None:
     print(f"FQDN-aggregated change rate:     {tr.fqdn_change_rate:.2%}")
     print("-> the last hop is stable once parallel links are aggregated\n")
 
-    print("== BGP study (10 targets, 5 days @ 2h) ==")
-    bgp = run_bgp_study(BgpStudyConfig(n_targets=10, duration_s=5 * DAY))
+    bgp_days = 1 if QUICK else 5
+    print(f"== BGP study (10 targets, {bgp_days} days @ 2h) ==")
+    bgp = run_bgp_study(
+        BgpStudyConfig(n_targets=10, duration_s=bgp_days * DAY)
+    )
     print(f"snapshots: {bgp.snapshots_taken} ({bgp.snapshots_missing} missing)")
     print(f"mean source-AS-set change per reading: {bgp.overall_mean_change:.2%}")
     print(f"max change observed:                   {bgp.overall_max_change:.2%}")

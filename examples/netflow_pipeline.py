@@ -14,6 +14,7 @@ Run:  python examples/netflow_pipeline.py
 """
 
 import io
+import os
 from dataclasses import replace
 
 from repro.core import EnhancedInFilter, PipelineConfig
@@ -37,6 +38,10 @@ from repro.netflow import (
 )
 from repro.util import parse_ipv4
 
+#: The CI examples-smoke job sets INFILTER_EXAMPLE_QUICK=1 to bound
+#: iteration counts; the full-size run is the default.
+QUICK = os.environ.get("INFILTER_EXAMPLE_QUICK") == "1"
+
 
 def main() -> None:
     # One registry for the whole walkthrough: every component below
@@ -52,7 +57,7 @@ def main() -> None:
     server = parse_ipv4("198.18.0.80")
     records = []
     now = 0
-    for round_number in range(6):
+    for round_number in range(2 if QUICK else 6):
         for index, client in enumerate(clients):
             key = FlowKey(
                 src_addr=client, dst_addr=server, protocol=PROTO_TCP,

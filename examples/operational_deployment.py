@@ -14,10 +14,16 @@ assembled Figure 9 system — rather than wiring the pieces by hand:
 Run:  python examples/operational_deployment.py
 """
 
+import os
+
 from repro.core import Deployment, PipelineConfig
 from repro.flowgen import Dagflow, generate_attack, synthesize_trace
 from repro.netflow.transport import ChannelConfig
 from repro.util import Prefix, SeededRng
+
+#: The CI examples-smoke job sets INFILTER_EXAMPLE_QUICK=1 to bound
+#: iteration counts; the full-size run is the default.
+QUICK = os.environ.get("INFILTER_EXAMPLE_QUICK") == "1"
 
 WEST = Prefix.parse("24.0.0.0/11")
 EAST = Prefix.parse("144.0.0.0/11")
@@ -45,7 +51,10 @@ def main() -> None:
 
     # Day 0: train on observed traffic.
     training = records_from(
-        [WEST], synthesize_trace(3000, rng=rng.fork("t0")), peer=0, rng=rng.fork("d0")
+        [WEST],
+        synthesize_trace(600 if QUICK else 3000, rng=rng.fork("t0")),
+        peer=0,
+        rng=rng.fork("d0"),
     )
     deployment.train(training)
     print(f"trained on {len(training)} flows")
@@ -53,13 +62,15 @@ def main() -> None:
     # Business as usual on both borders.
     deployment.ingest_records(
         0,
-        records_from([WEST], synthesize_trace(600, rng=rng.fork("w")), peer=0,
-                     rng=rng.fork("dw")),
+        records_from([WEST],
+                     synthesize_trace(120 if QUICK else 600, rng=rng.fork("w")),
+                     peer=0, rng=rng.fork("dw")),
     )
     deployment.ingest_records(
         1,
-        records_from([EAST], synthesize_trace(600, rng=rng.fork("e")), peer=1,
-                     rng=rng.fork("de")),
+        records_from([EAST],
+                     synthesize_trace(120 if QUICK else 600, rng=rng.fork("e")),
+                     peer=1, rng=rng.fork("de")),
     )
     print(f"peacetime: {len(deployment.decisions)} flows assessed,"
           f" {len(deployment.alerts())} alerts")

@@ -9,9 +9,15 @@ detector concluded.
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import EnhancedInFilter, PipelineConfig, Verdict
 from repro.flowgen import Dagflow, generate_attack, synthesize_trace
 from repro.util import Prefix, SeededRng
+
+#: The CI examples-smoke job sets INFILTER_EXAMPLE_QUICK=1 to bound
+#: iteration counts; the full-size run is the default.
+QUICK = os.environ.get("INFILTER_EXAMPLE_QUICK") == "1"
 
 PEER_WEST, PEER_EAST = 0, 1
 TARGET_NET = Prefix.parse("198.18.0.0/16")
@@ -41,14 +47,16 @@ def main() -> None:
     # Train the anomaly model on normal traffic.
     training = [
         lr.record.with_key(input_if=PEER_WEST)
-        for lr in west.replay(synthesize_trace(3000, rng=rng.fork("train")))
+        for lr in west.replay(
+            synthesize_trace(600 if QUICK else 3000, rng=rng.fork("train"))
+        )
     ]
     detector.train(training)
     print(f"trained on {len(training)} flows;"
           f" per-class thresholds: {detector.model.thresholds()}")
 
     # Live traffic: legitimate flows via the right peer...
-    live = synthesize_trace(500, rng=rng.fork("live"))
+    live = synthesize_trace(100 if QUICK else 500, rng=rng.fork("live"))
     legal = sum(
         detector.process(lr.record.with_key(input_if=PEER_WEST)).verdict
         == Verdict.LEGAL

@@ -19,18 +19,23 @@ each setting.
 Run:  python examples/route_instability_tuning.py
 """
 
+import os
 from dataclasses import replace
 
 from repro.testbed import ExperimentParams, TestbedConfig
 from repro.testbed.experiments import run_single
 from repro.util import SeededRng
 
+#: The CI examples-smoke job sets INFILTER_EXAMPLE_QUICK=1 to bound
+#: iteration counts; the full-size run is the default.
+QUICK = os.environ.get("INFILTER_EXAMPLE_QUICK") == "1"
+
 
 def main() -> None:
-    testbed_config = TestbedConfig(training_flows=2000)
+    testbed_config = TestbedConfig(training_flows=500 if QUICK else 2000)
     base = ExperimentParams(
         attack_volume=0.04,
-        normal_flows_per_peer=800,
+        normal_flows_per_peer=200 if QUICK else 800,
         rotate_allocations=True,
         route_change_blocks=8,
         runs=1,
@@ -38,7 +43,7 @@ def main() -> None:
 
     print("EIA learning-threshold sweep @ 8% route instability")
     print(f"{'threshold':>9}  {'FP rate':>8}  {'detection':>9}  {'absorbed':>8}")
-    for threshold in (2, 5, 10, 25, 100):
+    for threshold in (2, 25) if QUICK else (2, 5, 10, 25, 100):
         params = replace(base, eia_learning_threshold=threshold)
         score = run_single(
             testbed_config, params, rng=SeededRng(42, f"thr-{threshold}")

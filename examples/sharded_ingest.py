@@ -14,6 +14,7 @@ per-flow bookkeeping.
 Run:  python examples/sharded_ingest.py
 """
 
+import os
 import time
 
 from repro.core import PipelineConfig
@@ -21,6 +22,10 @@ from repro.engine import EngineConfig, ShardedIngestEngine
 from repro.flowgen import generate_attack, synthesize_trace
 from repro.testbed import Testbed, TestbedConfig
 from repro.util import SeededRng
+
+#: The CI examples-smoke job sets INFILTER_EXAMPLE_QUICK=1 to bound
+#: iteration counts; the full-size run is the default.
+QUICK = os.environ.get("INFILTER_EXAMPLE_QUICK") == "1"
 
 
 def build_detector(testbed: Testbed) -> "object":
@@ -30,14 +35,14 @@ def build_detector(testbed: Testbed) -> "object":
 def make_stream(testbed: Testbed, rng: SeededRng):
     streams = []
     for peer in range(10):
-        trace = synthesize_trace(300, rng=rng.fork(f"bg-{peer}"))
+        trace = synthesize_trace(60 if QUICK else 300, rng=rng.fork(f"bg-{peer}"))
         streams.append(
             (peer, testbed.normal_dagflow(peer, testbed.eia_plan[peer]).replay(trace))
         )
     # Peer 3's first block now routes via peer 7: wrong-ingress but
     # benign traffic that the learning rule should absorb.
     moved = testbed.eia_plan[3][:1]
-    trace = synthesize_trace(200, rng=rng.fork("moved"))
+    trace = synthesize_trace(40 if QUICK else 200, rng=rng.fork("moved"))
     streams.append((7, testbed.normal_dagflow(7, moved).replay(trace)))
     flood = generate_attack("slammer", rng=rng.fork("flood"))
     streams.append((5, testbed.attack_dagflow(5).replay(flood)))
@@ -52,7 +57,9 @@ def make_stream(testbed: Testbed, rng: SeededRng):
 
 def main() -> None:
     rng = SeededRng(20050605)
-    testbed = Testbed(TestbedConfig(training_flows=2500), rng=rng)
+    testbed = Testbed(
+        TestbedConfig(training_flows=500 if QUICK else 2500), rng=rng
+    )
     records = make_stream(testbed, rng.fork("stream"))
     print(f"stream: {len(records)} flow records\n")
 

@@ -11,6 +11,8 @@ InFilter emits and what happens once the signature is finally published.
 Run:  python examples/slammer_outbreak.py
 """
 
+import os
+
 from repro import EnhancedInFilter, PipelineConfig
 from repro.baselines import SignatureIDS
 from repro.core import parse_idmef
@@ -24,6 +26,10 @@ from repro.flowgen import (
 from repro.util import Prefix, SeededRng
 
 TARGET_NET = Prefix.parse("198.18.0.0/16")
+
+#: The CI examples-smoke job sets INFILTER_EXAMPLE_QUICK=1 to bound
+#: iteration counts; the full-size run is the default.
+QUICK = os.environ.get("INFILTER_EXAMPLE_QUICK") == "1"
 
 
 def main() -> None:
@@ -41,7 +47,9 @@ def main() -> None:
     )
     detector.train([
         lr.record.with_key(input_if=0)
-        for lr in trainer.replay(synthesize_trace(3000, rng=rng.fork("train")))
+        for lr in trainer.replay(
+            synthesize_trace(600 if QUICK else 3000, rng=rng.fork("train"))
+        )
     ])
 
     # Outbreak: the worm enters via peer AS 3, spoofing sources that

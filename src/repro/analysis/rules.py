@@ -18,6 +18,9 @@ REP008    ``type: ignore`` must be error-code-scoped
 REP009    stateful components implement the full stage-state protocol
           (``state_dict(self)`` / ``load_state(self, state)``), and
           ``core/persistence.py`` never reaches into private attributes
+REP010    no blocking calls (``time.sleep``, synchronous socket
+          receives/accepts, subprocess waits, console reads) inside
+          ``async def`` bodies — event-loop code must stay non-blocking
 ========  ==============================================================
 
 Rules are pure functions from a parsed :class:`ModuleInfo` to findings —
@@ -622,6 +625,85 @@ def _check_state_protocol(info: ModuleInfo) -> Iterator[Finding]:
                 )
 
 
+# -- REP010: no blocking calls in async bodies --------------------------------
+
+#: Qualified call targets that park the calling thread — inside a
+#: coroutine they stall the entire event loop (every queue, socket, and
+#: timer it drives).  The async equivalents: ``asyncio.sleep``,
+#: ``loop.sock_recv*``, ``loop.run_in_executor`` for subprocess work.
+_BLOCKING_QUALIFIED = frozenset(
+    {
+        "time.sleep",
+        "os.wait",
+        "os.waitpid",
+        "select.select",
+        "selectors.DefaultSelector",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+#: Method names that are blocking waits on every object that defines
+#: them in the stdlib networking/file surface.  ``sendto`` is NOT here:
+#: ``asyncio.DatagramTransport.sendto`` is the canonical *non-blocking*
+#: UDP send, and a datagram ``socket.sendto`` does not wait either.
+_BLOCKING_METHODS = frozenset(
+    {"recv", "recvfrom", "recv_into", "recvmsg", "sendall", "accept"}
+)
+
+
+def _check_async_blocking(info: ModuleInfo) -> Iterator[Finding]:
+    aliases = _import_aliases(info.tree)
+    # A call that is directly awaited is the event loop doing its job
+    # (``await loop.sock_recv(...)``), never a blocking wait.
+    awaited = {
+        id(node.value)
+        for node in ast.walk(info.tree)
+        if isinstance(node, ast.Await)
+    }
+    for node, scope in _walk_scoped(info.tree):
+        if not isinstance(node, ast.Call) or id(node) in awaited:
+            continue
+        if not isinstance(scope, ast.AsyncFunctionDef):
+            continue
+        func = node.func
+        resolved = _resolve(func, aliases)
+        if resolved in _BLOCKING_QUALIFIED:
+            yield _finding(
+                info,
+                "REP010",
+                node,
+                f"blocking call {resolved}() inside 'async def"
+                f" {scope.name}' stalls the event loop; use the asyncio"
+                " equivalent (e.g. asyncio.sleep, loop.sock_* or an"
+                " executor)",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _BLOCKING_METHODS
+            and resolved is None
+        ):
+            yield _finding(
+                info,
+                "REP010",
+                node,
+                f"synchronous .{func.attr}() inside 'async def"
+                f" {scope.name}' blocks the event loop; await the"
+                " transport/loop API instead",
+            )
+        elif isinstance(func, ast.Name) and func.id == "input":
+            yield _finding(
+                info,
+                "REP010",
+                node,
+                f"console read input() inside 'async def {scope.name}'"
+                " blocks the event loop",
+            )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     Rule(
         id="REP001",
@@ -673,6 +755,11 @@ ALL_RULES: Tuple[Rule, ...] = (
         summary="stateful components implement the full stage-state protocol",
         check=_check_state_protocol,
         library_only=True,
+    ),
+    Rule(
+        id="REP010",
+        summary="no blocking calls inside async def bodies",
+        check=_check_async_blocking,
     ),
 )
 

@@ -11,6 +11,12 @@
   ``--checkpoint-every N`` writes periodic atomic checkpoints to the
   ``--save-state`` path and ``--load-state … --resume`` continues a
   killed run from its checkpoint cursor;
+* ``infilter serve``      — run the live serving daemon: an asyncio UDP
+  listener for real NetFlow v5/v1 export datagrams, bounded-queue
+  backpressure with a load-shedding policy, micro-batched commits,
+  batch-boundary checkpoints (``--save-state``/``--checkpoint-every``),
+  warm restart (``--load-state --resume``), graceful SIGTERM drain,
+  SIGHUP hot reload, and an HTTP observability endpoint (``--http-port``);
 * ``infilter state``      — checkpoint tooling: ``state inspect CKPT``
   summarizes a saved checkpoint (either format) without loading it;
 * ``infilter validate``   — run the Section 3 hypothesis-validation studies;
@@ -32,9 +38,13 @@ with ``infilter stats``), Prometheus text otherwise.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.serve import ServeDaemon, ServeReport
 
 from repro.core import EnhancedInFilter, PipelineConfig, TracebackAnalyzer
 from repro.flowgen import (
@@ -338,6 +348,145 @@ def _run_detect(args: argparse.Namespace) -> int:
         save_detector(detector, args.save_state, cursor=final_cursor)
         print(f"detector state saved to {args.save_state}", file=out)
     return 0
+
+
+# -- serve --------------------------------------------------------------------
+
+
+def _parse_listen(value: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``PORT``) for --listen/--http."""
+    host, _, port_text = value.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(
+            f"invalid listen address {value!r}; expected HOST:PORT"
+        ) from None
+    if not 0 <= port <= 65_535:
+        raise ReproError(f"listen port {port} out of range [0, 65535]")
+    return host, port
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        code = _run_serve(args, registry)
+    if code == 0 and args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return code
+
+
+def _run_serve(args: argparse.Namespace, registry: MetricsRegistry) -> int:
+    from repro.serve import ServeConfig, ServeDaemon
+
+    checkpoint_every = args.checkpoint_every or 0
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    if checkpoint_every and not args.save_state:
+        print(
+            "error: --checkpoint-every needs --save-state for the"
+            " checkpoint path",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.load_state:
+        print("error: --resume needs --load-state", file=sys.stderr)
+        return 2
+    cursor_base = 0
+    if args.load_state:
+        from repro.core.persistence import load_checkpoint
+
+        detector, saved_cursor = load_checkpoint(args.load_state)
+        if args.eia_plan:
+            print(
+                "note: --load-state supplied; ignoring the EIA plan file",
+                file=sys.stderr,
+            )
+        if args.resume:
+            if saved_cursor is None:
+                print(
+                    "error: the checkpoint has no cursor to resume from",
+                    file=sys.stderr,
+                )
+                return 2
+            cursor_base = saved_cursor
+            print(f"resuming warm at cursor {cursor_base}")
+    else:
+        if not args.eia_plan:
+            print(
+                "error: an EIA plan file is required without --load-state",
+                file=sys.stderr,
+            )
+            return 2
+        plan = _load_eia_plan(args.eia_plan)
+        config = (
+            PipelineConfig.enhanced_default()
+            if not args.basic
+            else PipelineConfig.basic()
+        )
+        detector = EnhancedInFilter(config, rng=SeededRng(args.seed, "cli-serve"))
+        for peer, prefixes in plan.items():
+            detector.preload_eia(peer, prefixes)
+        if not args.basic:
+            if not args.training_file:
+                print(
+                    "error: an EI serve daemon needs --training-file (or"
+                    " --load-state); there is no input file to self-train on",
+                    file=sys.stderr,
+                )
+                return 2
+            training = _load_flows(args.training_file)
+            if not training:
+                print("error: no training flows available", file=sys.stderr)
+                return 2
+            detector.train(training)
+    host, port = _parse_listen(args.listen)
+    serve_config = ServeConfig(
+        host=host,
+        port=port,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        batch_size=args.batch_size,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=args.save_state,
+        http_port=args.http_port,
+        max_records=args.max_records,
+        idle_exit_s=args.idle_exit_s,
+    )
+    daemon = ServeDaemon(
+        detector, serve_config, registry=registry, cursor_base=cursor_base
+    )
+    alerts_before = 0 if args.resume else len(detector.alert_sink.alerts)
+    report = asyncio.run(_serve_and_announce(daemon))
+    print(report.describe())
+    if args.alerts_out:
+        alerts = daemon.detector.alert_sink.alerts[alerts_before:]
+        Path(args.alerts_out).write_text(
+            "".join(alert.to_xml() + "\n" for alert in alerts)
+        )
+        print(f"{len(alerts)} alerts written to {args.alerts_out}")
+    if args.save_state:
+        print(f"detector state saved to {args.save_state}")
+    return 0
+
+
+async def _serve_and_announce(daemon: "ServeDaemon") -> "ServeReport":
+    """Run the daemon, printing the bound addresses once listening."""
+    task = asyncio.ensure_future(daemon.run())
+    await daemon.wait_started()
+    assert daemon.address is not None
+    print(f"listening on udp://{daemon.address[0]}:{daemon.address[1]}")
+    if daemon.http_address is not None:
+        print(
+            f"observability on http://{daemon.http_address[0]}:"
+            f"{daemon.http_address[1]} (/healthz /metrics /stats.json)"
+        )
+    sys.stdout.flush()
+    return await task
 
 
 # -- state --------------------------------------------------------------------
@@ -709,6 +858,98 @@ def build_parser() -> argparse.ArgumentParser:
         " (its saved cursor)",
     )
     detect.set_defaults(handler=_cmd_detect)
+
+    serve = commands.add_parser(
+        "serve", help="run the live NetFlow serving daemon (Figure 9)"
+    )
+    serve.add_argument(
+        "eia_plan", nargs="?", default=None, help="'<peer> <prefix>' per line"
+    )
+    serve.add_argument(
+        "--listen",
+        default="127.0.0.1:9995",
+        metavar="HOST:PORT",
+        help="UDP address for NetFlow v5/v1 export datagrams (port 0 ="
+        " ephemeral; default %(default)s)",
+    )
+    serve.add_argument(
+        "--training-file", default=None, help="flow file to train the EI model on"
+    )
+    serve.add_argument("--basic", action="store_true", help="BI configuration")
+    serve.add_argument(
+        "--load-state", default=None, help="restore detector state instead of training"
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the --load-state checkpoint's committed-record"
+        " cursor (warm restart)",
+    )
+    serve.add_argument(
+        "--save-state",
+        default=None,
+        help="checkpoint path: periodic (with --checkpoint-every) plus a"
+        " final atomic checkpoint after the drain",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint every N committed batches",
+    )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /healthz, /metrics and /stats.json on this port (0 ="
+        " ephemeral)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="records per commit micro-batch (default %(default)s)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=65_536,
+        help="ingest queue bound in records (default %(default)s)",
+    )
+    serve.add_argument(
+        "--shed-policy",
+        choices=("drop-oldest", "reject-newest"),
+        default="drop-oldest",
+        help="which record loses when the queue is full (default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drain and exit after committing N records (bounded runs)",
+    )
+    serve.add_argument(
+        "--idle-exit-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="drain and exit after S seconds without traffic",
+    )
+    serve.add_argument(
+        "--alerts-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's IDMEF alert stream (one XML document per line)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics snapshot (.json = JSON, else Prometheus text)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     state = commands.add_parser(
         "state", help="inspect saved detector checkpoints"

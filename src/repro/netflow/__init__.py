@@ -3,6 +3,12 @@
 from __future__ import annotations
 
 from repro.netflow.collector import CollectorStats, FlowCollector, PortMux
+from repro.netflow.emit import (
+    ChannelTarget,
+    DatagramEmitter,
+    EmitTarget,
+    SocketTarget,
+)
 from repro.netflow.exporter import ExporterConfig, FlowExporter, Packet
 from repro.netflow.anonymize import PrefixPreservingAnonymizer
 from repro.netflow.filters import FlowFilter, parse_filter_expression
@@ -59,6 +65,10 @@ from repro.netflow.v5 import (
 
 __all__ = [
     "CollectorStats",
+    "ChannelTarget",
+    "DatagramEmitter",
+    "EmitTarget",
+    "SocketTarget",
     "PrefixPreservingAnonymizer",
     "FlowFilter",
     "parse_filter_expression",

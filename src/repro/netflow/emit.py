@@ -1,0 +1,201 @@
+"""Datagram emission: from expired flow records to the wire.
+
+The flow cache (:class:`~repro.netflow.exporter.FlowExporter`) produces
+:class:`~repro.netflow.records.FlowRecord`\\ s; something still has to
+pack them into NetFlow v5 export datagrams and put those datagrams
+*somewhere*.  :class:`DatagramEmitter` is that something, and the
+"somewhere" is pluggable:
+
+* :class:`SocketTarget` — a real UDP socket (``sendto`` straight to a
+  collector address), which is how a loopback deployment feeds
+  ``infilter serve``;
+* :class:`ChannelTarget` — the simulated impaired
+  :class:`~repro.netflow.transport.UdpChannel`, delivering whatever
+  survives to a callback (typically ``collector.receive``);
+* any ``Callable[[bytes], None]`` — tests capture raw datagrams with a
+  plain function.
+
+The emitter owns the cumulative ``flow_sequence`` counter, exactly like
+a router's export process, so collectors can run their sequence-gap
+loss accounting over either path.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.netflow.records import FlowRecord
+from repro.netflow.transport import UdpChannel
+from repro.netflow.v5 import MAX_RECORDS_PER_DATAGRAM, encode_datagram
+from repro.obs import MetricsRegistry, get_registry
+from repro.util.errors import ConfigError, NetFlowError
+
+__all__ = [
+    "EmitTarget",
+    "SocketTarget",
+    "ChannelTarget",
+    "DatagramEmitter",
+]
+
+#: Anything that accepts one encoded datagram.
+EmitTarget = Callable[[bytes], None]
+
+
+class SocketTarget:
+    """Send datagrams over a real UDP socket to ``(host, port)``.
+
+    The socket is created lazily on first send and owned by the target;
+    call :meth:`close` (or use the instance as a context manager) when
+    the export session ends.  Sends are synchronous — this is the
+    router-side (blocking-world) half of a deployment; the daemon side
+    stays non-blocking on its own event loop.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        if not 0 < port <= 65_535:
+            raise ConfigError(f"port must be in [1, 65535], got {port}")
+        self.host = host
+        self.port = port
+        self._sock: Optional[socket.socket] = None
+        self.sent = 0
+
+    def _socket(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        return self._sock
+
+    def __call__(self, datagram: bytes) -> None:
+        try:
+            self._socket().sendto(datagram, (self.host, self.port))
+        except OSError as error:
+            raise NetFlowError(
+                f"UDP send to {self.host}:{self.port} failed: {error}"
+            ) from error
+        self.sent += 1
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "SocketTarget":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ChannelTarget:
+    """Send datagrams through a simulated impaired UDP channel.
+
+    Whatever the channel delivers (after loss, duplication, reordering)
+    is handed to ``deliver`` — wire a collector's ``receive`` in and the
+    full exporter → channel → collector path runs without a socket.
+    """
+
+    def __init__(
+        self, channel: UdpChannel, deliver: Callable[[bytes], None]
+    ) -> None:
+        self.channel = channel
+        self._deliver = deliver
+
+    def __call__(self, datagram: bytes) -> None:
+        for delivered in self.channel.transmit([datagram]):
+            self._deliver(delivered)
+
+
+class DatagramEmitter:
+    """Pack flow records into v5 datagrams and emit them to a target.
+
+    Records are buffered until a datagram fills (30 records) and emitted
+    with router-faithful header fields: cumulative ``flow_sequence``,
+    ``unix_secs``/``sys_uptime`` derived from the flow timestamps of the
+    records being exported (deterministic, replayable — never the wall
+    clock).  Call :meth:`flush` at the end of an export session to push
+    the partial tail datagram.
+    """
+
+    def __init__(
+        self,
+        target: EmitTarget,
+        *,
+        engine_id: int = 0,
+        initial_sequence: int = 0,
+        max_records: int = MAX_RECORDS_PER_DATAGRAM,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not 1 <= max_records <= MAX_RECORDS_PER_DATAGRAM:
+            raise ConfigError(
+                "max_records must be in"
+                f" [1, {MAX_RECORDS_PER_DATAGRAM}], got {max_records}"
+            )
+        if initial_sequence < 0:
+            raise ConfigError(
+                f"initial_sequence must be >= 0, got {initial_sequence}"
+            )
+        self.target = target
+        self.engine_id = engine_id
+        self.max_records = max_records
+        self._sequence = initial_sequence
+        self._buffer: List[FlowRecord] = []
+        self.datagrams_emitted = 0
+        self.records_emitted = 0
+        registry = registry if registry is not None else get_registry()
+        self._m_datagrams = registry.counter(
+            "infilter_exporter_datagrams_total",
+            "NetFlow v5 datagrams emitted to the export target.",
+        )
+        self._m_records = registry.counter(
+            "infilter_exporter_emitted_records_total",
+            "Flow records packed into emitted export datagrams.",
+        )
+
+    @property
+    def flow_sequence(self) -> int:
+        """Cumulative count of flows exported before the next datagram."""
+        return self._sequence
+
+    @property
+    def buffered(self) -> int:
+        """Records waiting for the current datagram to fill."""
+        return len(self._buffer)
+
+    def emit(self, records: Sequence[FlowRecord]) -> int:
+        """Buffer records, emitting every full datagram; returns the
+        number of datagrams sent by this call."""
+        sent = 0
+        for record in records:
+            self._buffer.append(record)
+            if len(self._buffer) >= self.max_records:
+                self._send(self._buffer)
+                self._buffer = []
+                sent += 1
+        return sent
+
+    def flush(self) -> int:
+        """Emit the partial tail datagram, if any; returns 0 or 1."""
+        if not self._buffer:
+            return 0
+        self._send(self._buffer)
+        self._buffer = []
+        return 1
+
+    def _send(self, records: List[FlowRecord]) -> None:
+        latest = max(record.last for record in records)
+        datagram = encode_datagram(
+            records,
+            # Header times come from flow time, not the wall clock: the
+            # export instant is "when the newest flow in it last saw a
+            # packet", which replays bit-identically.
+            sys_uptime=latest,
+            unix_secs=latest // 1000,
+            flow_sequence=self._sequence,
+            engine_id=self.engine_id,
+        )
+        self.target(datagram)
+        self._sequence += len(records)
+        self.datagrams_emitted += 1
+        self.records_emitted += len(records)
+        self._m_datagrams.inc()
+        self._m_records.inc(len(records))

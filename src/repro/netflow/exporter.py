@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:
+    from repro.netflow.emit import DatagramEmitter
 
 from repro.netflow.records import (
     PROTO_TCP,
@@ -108,6 +111,12 @@ class FlowExporter:
     ``annotate`` lets the hosting router fill routing-derived record fields
     (``src_as``, ``dst_as``, masks, next hop) at export time, the way a real
     router consults its FIB when a flow expires.
+
+    ``emitter`` plugs in a wire-emission path: every exported record is
+    also handed to the :class:`~repro.netflow.emit.DatagramEmitter`,
+    whose target may be a real UDP socket, the simulated impaired
+    channel, or any datagram callback — the same flow cache drives a
+    live collector or an in-memory experiment unchanged.
     """
 
     def __init__(
@@ -116,12 +125,14 @@ class FlowExporter:
         *,
         annotate: Optional[Callable[[FlowRecord], FlowRecord]] = None,
         enabled_interfaces: Optional[Iterable[int]] = None,
+        emitter: Optional["DatagramEmitter"] = None,
     ) -> None:
         self.config = config or ExporterConfig()
         self._annotate = annotate
         self._enabled = set(enabled_interfaces) if enabled_interfaces is not None else None
         self._cache: "OrderedDict[FlowKey, _CacheEntry]" = OrderedDict()
         self._exported = 0
+        self.emitter = emitter
 
     @property
     def cache_occupancy(self) -> int:
@@ -163,9 +174,16 @@ class FlowExporter:
         return self._expire(now_ms)
 
     def flush(self) -> List[FlowRecord]:
-        """Force-expire every live entry (router reload / end of run)."""
+        """Force-expire every live entry (router reload / end of run).
+
+        When an emitter is plugged in, its partial tail datagram is
+        flushed to the wire too — after this call nothing is buffered on
+        the export side.
+        """
         records = [self._export(entry) for entry in self._cache.values()]
         self._cache.clear()
+        if self.emitter is not None:
+            self.emitter.flush()
         return records
 
     def _expire(self, now_ms: int) -> List[FlowRecord]:
@@ -194,4 +212,7 @@ class FlowExporter:
 
     def _export(self, entry: _CacheEntry) -> FlowRecord:
         self._exported += 1
-        return entry.to_record(self._annotate)
+        record = entry.to_record(self._annotate)
+        if self.emitter is not None:
+            self.emitter.emit((record,))
+        return record

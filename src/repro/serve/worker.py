@@ -1,0 +1,240 @@
+"""The micro-batching commit plane of the serving daemon.
+
+One :class:`CommitWorker` coroutine owns the authoritative detector: it
+awaits micro-batches from the ingest queue and commits each through
+:meth:`~repro.core.pipeline.EnhancedInFilter.process_batch` — the same
+memoised batch path the offline sharded engine drives, so verdicts,
+absorptions, alerts and stats are exactly what serial processing would
+produce.  Because the commit plane is a single task, batch boundaries
+are also safe points for everything else that touches detector state:
+periodic checkpoints, the final drain checkpoint, and SIGHUP hot
+reloads all happen *between* batches, never inside one.
+
+The worker keeps a committed-record cursor (counting from
+``cursor_base``, the resume offset of a restored checkpoint) and writes
+it into every checkpoint, so a killed-and-resumed daemon knows exactly
+how much traffic its restored state already accounts for.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.persistence import load_checkpoint, save_detector
+from repro.core.pipeline import EnhancedInFilter
+from repro.obs import MetricsRegistry, Stopwatch, get_logger, get_registry
+from repro.serve.config import ServeConfig
+from repro.serve.queue import IngestQueue, QueuedRecord
+from repro.util.errors import ReproError, ServeError
+from repro.util.rng import SeededRng
+
+__all__ = ["CommitWorker"]
+
+log = get_logger(__name__)
+
+#: Ingest-to-verdict latency buckets: queueing dominates, so the range
+#: runs wider than the per-flow processing buckets.
+_INGEST_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.000_5, 0.001, 0.002_5, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Size of the ingest-latency reservoir kept for percentile reporting.
+_LATENCY_RESERVOIR = 4_096
+
+
+class CommitWorker:
+    """Drains the ingest queue through the authoritative detector.
+
+    The worker exits its :meth:`run` loop only when the queue is closed
+    *and* fully drained — the graceful-shutdown contract: everything
+    admitted before the drain began is committed and captured by the
+    final checkpoint.
+    """
+
+    def __init__(
+        self,
+        detector: EnhancedInFilter,
+        queue: IngestQueue,
+        config: ServeConfig,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        cursor_base: int = 0,
+        on_progress: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.detector = detector
+        self.queue = queue
+        self.config = config
+        self._cursor = cursor_base
+        self._on_progress = on_progress
+        self._batches = 0
+        self._committed = 0
+        self._checkpoints = 0
+        self._reloads = 0
+        self._pending_reload = False
+        self._latency_reservoir: List[float] = []
+        self._latency_seen = 0
+        self._latency_rng = SeededRng(20050609, "serve-latency-reservoir")
+        registry = registry if registry is not None else get_registry()
+        self._m_batches = registry.counter(
+            "infilter_serve_batches_total",
+            "Micro-batches committed through the detector.",
+        )
+        self._m_committed = registry.counter(
+            "infilter_serve_committed_total",
+            "Flow records committed through the detector.",
+        )
+        self._m_commit_s = registry.histogram(
+            "infilter_serve_commit_seconds",
+            "Commit-stage latency per micro-batch.",
+        )
+        self._m_ingest_latency = registry.histogram(
+            "infilter_serve_ingest_latency_seconds",
+            "Enqueue-to-verdict latency per committed record.",
+            buckets=_INGEST_LATENCY_BUCKETS_S,
+        )
+        self._m_checkpoints = registry.counter(
+            "infilter_serve_checkpoints_total",
+            "Detector checkpoints written at serve batch boundaries.",
+        )
+        self._m_reloads = registry.counter(
+            "infilter_serve_reloads_total",
+            "Hot detector reloads applied at batch boundaries (SIGHUP).",
+        )
+
+    # -- read-side accessors -------------------------------------------------
+
+    @property
+    def cursor(self) -> int:
+        """Committed-record cursor (counts from ``cursor_base``)."""
+        return self._cursor
+
+    @property
+    def committed(self) -> int:
+        """Records committed by *this* worker (excludes the base)."""
+        return self._committed
+
+    @property
+    def batches(self) -> int:
+        return self._batches
+
+    @property
+    def checkpoints(self) -> int:
+        return self._checkpoints
+
+    @property
+    def reloads(self) -> int:
+        return self._reloads
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Ingest-to-verdict latency percentile from the reservoir."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ServeError(f"quantile must be in [0, 1], got {quantile}")
+        if not self._latency_reservoir:
+            return 0.0
+        ordered = sorted(self._latency_reservoir)
+        index = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return ordered[index]
+
+    # -- control -------------------------------------------------------------
+
+    def request_reload(self) -> None:
+        """Arm a hot reload; applied at the next batch boundary."""
+        self._pending_reload = True
+
+    # -- the loop ------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Commit batches until the queue is closed and drained.
+
+        On exit — and only after the drain is complete — a final
+        checkpoint is written (when checkpointing is configured), so a
+        restart resumes with every committed record accounted for.
+        """
+        while True:
+            if self._pending_reload:
+                self._apply_reload()
+            batch = await self.queue.get_batch(
+                self.config.batch_size, linger_s=self.config.batch_linger_s
+            )
+            if not batch:
+                break
+            self.commit(batch)
+        if self.config.checkpoint_path is not None:
+            self.checkpoint()
+
+    def commit(self, batch: List[QueuedRecord]) -> None:
+        """Commit one micro-batch synchronously (a batch boundary)."""
+        watch = Stopwatch()
+        self.detector.process_batch([queued.record for queued in batch])
+        elapsed = watch.elapsed_s()
+        done = time.perf_counter()
+        for queued in batch:
+            self._sample_latency(done - queued.enqueued_s)
+        self._batches += 1
+        self._committed += len(batch)
+        self._cursor += len(batch)
+        self._m_batches.inc()
+        self._m_committed.inc(len(batch))
+        self._m_commit_s.observe(elapsed)
+        if (
+            self.config.checkpoint_every > 0
+            and self._batches % self.config.checkpoint_every == 0
+        ):
+            self.checkpoint()
+        if self._on_progress is not None:
+            self._on_progress()
+
+    def _sample_latency(self, latency_s: float) -> None:
+        self._m_ingest_latency.observe(latency_s)
+        self._latency_seen += 1
+        if len(self._latency_reservoir) < _LATENCY_RESERVOIR:
+            self._latency_reservoir.append(latency_s)
+            return
+        slot = self._latency_rng.randrange(self._latency_seen)
+        if slot < _LATENCY_RESERVOIR:
+            self._latency_reservoir[slot] = latency_s
+
+    def checkpoint(self) -> int:
+        """Write an atomic checkpoint at the current cursor."""
+        if self.config.checkpoint_path is None:
+            raise ServeError("serve worker has no checkpoint_path configured")
+        save_detector(
+            self.detector, self.config.checkpoint_path, cursor=self._cursor
+        )
+        self._checkpoints += 1
+        self._m_checkpoints.inc()
+        log.info(
+            "serve checkpoint written",
+            extra={
+                "path": self.config.checkpoint_path,
+                "cursor": self._cursor,
+                "batches": self._batches,
+            },
+        )
+        return self._cursor
+
+    def _apply_reload(self) -> None:
+        self._pending_reload = False
+        path = self.config.effective_reload_path
+        if path is None:
+            log.warning(
+                "reload requested but no reload_path/checkpoint_path is"
+                " configured; ignoring"
+            )
+            return
+        try:
+            detector, _cursor = load_checkpoint(path)
+        except ReproError as error:
+            # A bad reload source must not take the daemon down mid-run;
+            # keep serving on the current detector and say so.
+            log.warning(
+                "hot reload failed; keeping the current detector",
+                extra={"path": path, "reason": str(error)},
+            )
+            return
+        self.detector = detector
+        self._reloads += 1
+        self._m_reloads.inc()
+        log.info("detector hot-reloaded", extra={"path": path})

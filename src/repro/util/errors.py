@@ -20,6 +20,7 @@ __all__ = [
     "ExperimentError",
     "EngineError",
     "StateError",
+    "ServeError",
 ]
 
 
@@ -69,3 +70,7 @@ class EngineError(ReproError, RuntimeError):
 
 class StateError(ReproError, RuntimeError):
     """A detector checkpoint could not be written, read, or parsed."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The live serving daemon violated or detected a usage contract."""

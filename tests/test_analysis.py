@@ -490,6 +490,105 @@ class TestRep009StateProtocol:
         assert findings == []
 
 
+class TestRep010AsyncBlocking:
+    def test_flags_time_sleep_in_async_def(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\n\n"
+            "async def worker():\n"
+            "    time.sleep(1)  # repro: allow[REP001]\n",
+            select=["REP010"],
+        )
+        assert rules_of(findings) == ["REP010"]
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_flags_aliased_import(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import subprocess as sp\n\n"
+            "async def runner():\n"
+            "    sp.run(['ls'])\n",
+            select=["REP010"],
+        )
+        assert rules_of(findings) == ["REP010"]
+
+    def test_flags_socket_recv_method(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "async def reader(sock):\n"
+            "    return sock.recv(1024)\n",
+            select=["REP010"],
+        )
+        assert rules_of(findings) == ["REP010"]
+        assert ".recv()" in findings[0].message
+
+    def test_flags_console_input(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "async def prompt():\n"
+            "    return input()\n",
+            select=["REP010"],
+        )
+        assert rules_of(findings) == ["REP010"]
+
+    def test_sync_def_is_fine(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\n\n"
+            "def worker():\n"
+            "    time.sleep(1)  # repro: allow[REP001]\n",
+            select=["REP010"],
+        )
+        assert findings == []
+
+    def test_awaited_loop_api_is_fine(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import asyncio\n\n"
+            "async def reader(loop, sock):\n"
+            "    await asyncio.sleep(0)\n"
+            "    return await loop.sock_recv(sock, 1024)\n",
+            select=["REP010"],
+        )
+        assert findings == []
+
+    def test_datagram_sendto_is_fine(self, tmp_path):
+        # transport.sendto is asyncio's canonical non-blocking UDP send;
+        # it must never be flagged.
+        findings = lint_source(
+            tmp_path,
+            "async def pump(transport, data):\n"
+            "    transport.sendto(data)\n",
+            select=["REP010"],
+        )
+        assert findings == []
+
+    def test_sync_helper_nested_in_async_is_fine(self, tmp_path):
+        # The blocking call's innermost scope is the *sync* helper; only
+        # the coroutine body itself must stay non-blocking.
+        findings = lint_source(
+            tmp_path,
+            "import time\n\n"
+            "async def outer():\n"
+            "    def helper():\n"
+            "        time.sleep(1)  # repro: allow[REP001]\n"
+            "    return helper\n",
+            select=["REP010"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\n\n"
+            "async def worker():\n"
+            "    time.sleep(1)  "
+            "# repro: allow[REP001,REP010] -- startup settle\n",
+            select=["REP010"],
+        )
+        assert findings == []
+
+
 class TestPragmas:
     def test_standalone_pragma_covers_next_line(self, tmp_path):
         findings = lint_source(

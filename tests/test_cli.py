@@ -568,3 +568,49 @@ class TestStatsAndMetricsOut:
             assert "infilter_cli_test_total 1" in capsys.readouterr().out
         finally:
             get_registry().unregister_all()
+
+
+class TestServeValidation:
+    """The ``infilter serve`` argument-validation branches (all exit 2).
+
+    The daemon's happy paths — loopback ingest, SIGTERM drain, warm
+    restart through a real subprocess — live in
+    ``tests/test_serve_daemon.py``; these tests only pin the CLI's
+    refusal messages, which must fire before any socket is bound.
+    """
+
+    def test_checkpoint_every_must_be_positive(self, plan_file, capsys):
+        assert main(["serve", plan_file, "--checkpoint-every", "0"]) == 2
+        assert "--checkpoint-every must be >= 1" in capsys.readouterr().err
+
+    def test_checkpoint_every_needs_save_state(self, plan_file, capsys):
+        assert main(["serve", plan_file, "--checkpoint-every", "5"]) == 2
+        assert "needs --save-state" in capsys.readouterr().err
+
+    def test_resume_needs_load_state(self, plan_file, capsys):
+        assert main(["serve", plan_file, "--resume"]) == 2
+        assert "--resume needs --load-state" in capsys.readouterr().err
+
+    def test_plan_required_without_load_state(self, capsys):
+        assert main(["serve"]) == 2
+        assert "EIA plan file is required" in capsys.readouterr().err
+
+    def test_enhanced_needs_training_file(self, plan_file, capsys):
+        assert main(["serve", plan_file]) == 2
+        assert "needs --training-file" in capsys.readouterr().err
+
+    def test_resume_needs_checkpoint_cursor(self, tmp_path, capsys):
+        from repro.core import EnhancedInFilter, PipelineConfig
+        from repro.core.persistence import save_detector
+
+        state = tmp_path / "state.json"
+        save_detector(EnhancedInFilter(PipelineConfig.basic()), state)
+        assert main(["serve", "--load-state", str(state), "--resume"]) == 2
+        assert "no cursor to resume from" in capsys.readouterr().err
+
+    def test_bad_listen_address_rejected(self, plan_file, capsys):
+        code = main(
+            ["serve", plan_file, "--basic", "--listen", "not-an-address"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()

@@ -1,0 +1,272 @@
+"""Tests for the datagram emission layer (``repro.netflow.emit``).
+
+The emitter is the router's export process: it owns the cumulative
+``flow_sequence`` counter, packs records into v5 datagrams, and hands
+them to a pluggable target.  The loopback test at the bottom runs the
+full real-socket path — exporter cache → emitter → UDP socket →
+collector — and checks that sequence/loss accounting works over it
+exactly as it does over the simulated channel.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.netflow.collector import FlowCollector
+from repro.netflow.emit import ChannelTarget, DatagramEmitter, SocketTarget
+from repro.netflow.exporter import ExporterConfig, FlowExporter, Packet
+from repro.netflow.records import PROTO_UDP, FlowKey, FlowRecord
+from repro.netflow.transport import ChannelConfig, UdpChannel
+from repro.netflow.v5 import MAX_RECORDS_PER_DATAGRAM, decode_datagram
+from repro.obs import MetricsRegistry
+from repro.util.errors import ConfigError, NetFlowError
+from repro.util.rng import SeededRng
+
+
+def record(index=0, *, last=1_000):
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=index + 1, dst_addr=9, protocol=PROTO_UDP, dst_port=9_000
+        ),
+        packets=1,
+        octets=64,
+        first=0,
+        last=last,
+    )
+
+
+def capture_emitter(**kwargs):
+    """An emitter writing into a list, plus the list."""
+    datagrams = []
+    emitter = DatagramEmitter(
+        datagrams.append, registry=MetricsRegistry(), **kwargs
+    )
+    return emitter, datagrams
+
+
+class TestDatagramEmitter:
+    def test_buffers_until_datagram_fills(self):
+        emitter, datagrams = capture_emitter(max_records=3)
+        assert emitter.emit([record(0), record(1)]) == 0
+        assert emitter.buffered == 2
+        assert datagrams == []
+        assert emitter.emit([record(2)]) == 1
+        assert emitter.buffered == 0
+        assert len(datagrams) == 1
+
+    def test_flush_emits_partial_tail_once(self):
+        emitter, datagrams = capture_emitter(max_records=5)
+        emitter.emit([record(0)])
+        assert emitter.flush() == 1
+        assert emitter.flush() == 0
+        header, records = decode_datagram(datagrams[0])
+        assert len(records) == 1
+
+    def test_sequence_is_cumulative_across_datagrams(self):
+        emitter, datagrams = capture_emitter(max_records=2, initial_sequence=40)
+        emitter.emit([record(i) for i in range(4)])
+        sequences = [decode_datagram(d)[0].flow_sequence for d in datagrams]
+        assert sequences == [40, 42]
+        assert emitter.flow_sequence == 44
+
+    def test_header_times_come_from_flow_time(self):
+        emitter, datagrams = capture_emitter()
+        emitter.emit([record(0, last=7_500), record(1, last=12_345)])
+        emitter.flush()
+        header, _records = decode_datagram(datagrams[0])
+        assert header.sys_uptime == 12_345
+        assert header.unix_secs == 12
+
+    def test_counts_and_metrics(self):
+        registry = MetricsRegistry()
+        datagrams = []
+        emitter = DatagramEmitter(
+            datagrams.append, max_records=2, registry=registry
+        )
+        emitter.emit([record(i) for i in range(5)])
+        emitter.flush()
+        assert emitter.datagrams_emitted == 3
+        assert emitter.records_emitted == 5
+        sample = {
+            (family.name, labels): child.value
+            for family in registry.collect()
+            for labels, child in family.samples()
+        }
+        assert sample[("infilter_exporter_datagrams_total", ())] == 3
+        assert sample[("infilter_exporter_emitted_records_total", ())] == 5
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            capture_emitter(max_records=0)
+        with pytest.raises(ConfigError):
+            capture_emitter(max_records=MAX_RECORDS_PER_DATAGRAM + 1)
+        with pytest.raises(ConfigError):
+            capture_emitter(initial_sequence=-1)
+
+
+class TestSocketTarget:
+    def test_rejects_bad_port(self):
+        with pytest.raises(ConfigError):
+            SocketTarget("127.0.0.1", 0)
+        with pytest.raises(ConfigError):
+            SocketTarget("127.0.0.1", 70_000)
+
+    def test_send_failure_wrapped_as_netflow_error(self):
+        # An unresolvable host fails inside sendto; the OSError must
+        # surface as the repo's own error taxonomy.
+        with SocketTarget("256.256.256.256", 9) as target:
+            with pytest.raises(NetFlowError):
+                target(b"\x00")
+
+    def test_loopback_delivery_counts_sends(self):
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sink:
+            sink.bind(("127.0.0.1", 0))
+            sink.settimeout(5.0)
+            _host, port = sink.getsockname()
+            with SocketTarget("127.0.0.1", port) as target:
+                target(b"ping")
+                assert target.sent == 1
+            assert sink.recv(64) == b"ping"
+
+
+class TestChannelTarget:
+    def test_lossless_channel_reaches_collector_intact(self):
+        registry = MetricsRegistry()
+        collector = FlowCollector(registry=registry)
+        channel = UdpChannel(
+            ChannelConfig(), rng=SeededRng(7, "emit-test"), registry=registry
+        )
+        emitter = DatagramEmitter(
+            ChannelTarget(channel, collector.receive),
+            max_records=4,
+            registry=registry,
+        )
+        emitter.emit([record(i) for i in range(10)])
+        emitter.flush()
+        assert collector.stats.records == 10
+        assert collector.stats.lost_flows == 0
+
+    def test_lossy_channel_shows_up_in_sequence_accounting(self):
+        registry = MetricsRegistry()
+        collector = FlowCollector(registry=registry)
+        channel = UdpChannel(
+            ChannelConfig(loss_probability=0.3),
+            rng=SeededRng(11, "emit-test"),
+            registry=registry,
+        )
+        emitter = DatagramEmitter(
+            ChannelTarget(channel, collector.receive),
+            max_records=5,
+            registry=registry,
+        )
+        emitter.emit([record(i) for i in range(200)])
+        emitter.flush()
+        assert channel.stats.lost > 0
+        # Every record the collector never saw is visible as a sequence
+        # gap: emitted == received + lost (in flow-record units).
+        assert (
+            emitter.records_emitted
+            == collector.stats.records + collector.stats.lost_flows
+        )
+
+
+class TestExporterEmitterWiring:
+    @staticmethod
+    def packet(ts, *, src=1, size=100):
+        return Packet(
+            key=FlowKey(
+                src_addr=src,
+                dst_addr=2,
+                protocol=PROTO_UDP,
+                src_port=10,
+                dst_port=20,
+            ),
+            length=size,
+            timestamp_ms=ts,
+        )
+
+    def test_exported_records_reach_the_emitter(self):
+        emitter, datagrams = capture_emitter(max_records=2)
+        exporter = FlowExporter(
+            ExporterConfig(idle_timeout_ms=1_000), emitter=emitter
+        )
+        for src in range(4):
+            exporter.observe(self.packet(0, src=src + 1))
+        # Everything idles out at t=10s; two full datagrams emit.
+        exporter.sweep(10_000)
+        assert len(datagrams) == 2
+        assert emitter.records_emitted == 4
+
+    def test_flush_drains_the_emitter_tail(self):
+        emitter, datagrams = capture_emitter(max_records=30)
+        exporter = FlowExporter(emitter=emitter)
+        exporter.observe(self.packet(0))
+        records = exporter.flush()
+        assert len(records) == 1
+        assert emitter.buffered == 0
+        assert len(datagrams) == 1
+
+    def test_exporter_without_emitter_still_exports(self):
+        exporter = FlowExporter(ExporterConfig(idle_timeout_ms=1_000))
+        exporter.observe(self.packet(0))
+        assert len(exporter.sweep(10_000)) == 1
+
+
+class TestRealSocketLoopback:
+    def test_exporter_to_collector_over_real_udp(self):
+        """Full deployment path: flow cache → emitter → UDP → collector.
+
+        The receiving side reads the raw datagrams off a bound socket and
+        feeds them to a :class:`FlowCollector`; sequence accounting must
+        report zero loss on loopback, and an artificially skipped datagram
+        must show up as exactly its record count in ``lost_flows``.
+        """
+        registry = MetricsRegistry()
+        collector = FlowCollector(registry=registry)
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sink:
+            sink.bind(("127.0.0.1", 0))
+            sink.settimeout(5.0)
+            _host, port = sink.getsockname()
+            with SocketTarget("127.0.0.1", port) as target:
+                emitter = DatagramEmitter(
+                    target, max_records=10, registry=registry
+                )
+                exporter = FlowExporter(
+                    ExporterConfig(idle_timeout_ms=1_000),
+                    emitter=emitter,
+                )
+                for src in range(40):
+                    exporter.observe(
+                        TestExporterEmitterWiring.packet(0, src=src + 1)
+                    )
+                exporter.sweep(10_000)
+                exporter.flush()
+                for _ in range(emitter.datagrams_emitted):
+                    collector.receive(sink.recv(65_536), source=port)
+        assert collector.stats.records == 40
+        assert collector.stats.lost_flows == 0
+
+    def test_dropped_datagram_is_accounted_as_loss(self):
+        registry = MetricsRegistry()
+        collector = FlowCollector(registry=registry)
+        with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sink:
+            sink.bind(("127.0.0.1", 0))
+            sink.settimeout(5.0)
+            _host, port = sink.getsockname()
+            with SocketTarget("127.0.0.1", port) as target:
+                emitter = DatagramEmitter(
+                    target, max_records=5, registry=registry
+                )
+                emitter.emit([record(i) for i in range(15)])
+                arrived = [
+                    sink.recv(65_536)
+                    for _ in range(emitter.datagrams_emitted)
+                ]
+        # Deliver the first and third datagrams; the middle one "never
+        # arrives" — its five records must appear as a sequence gap.
+        collector.receive(arrived[0], source=port)
+        collector.receive(arrived[2], source=port)
+        assert collector.stats.records == 10
+        assert collector.stats.lost_flows == 5

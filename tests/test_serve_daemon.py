@@ -1,0 +1,669 @@
+"""End-to-end tests for the live serving daemon (``repro.serve``).
+
+The daemon's contracts under test:
+
+* real NetFlow v5 datagrams over a real loopback UDP socket commit
+  through the detector with serial-equivalent results;
+* graceful drain — everything *admitted* to the ingest queue before a
+  shutdown request is committed, and the final checkpoint is atomic and
+  carries the cursor;
+* warm restart — a run interrupted by a drain and resumed from its
+  checkpoint emits an alert stream identical to an uninterrupted run
+  (the headline acceptance property), including through a real SIGTERM
+  delivered to an ``infilter serve`` subprocess;
+* SIGHUP-style hot reload swaps the detector at a batch boundary and a
+  bad reload source never takes the daemon down;
+* the HTTP observability endpoint serves health, metrics, and stats;
+* shed and loss counters reconcile with what was committed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+from typing import List
+
+import asyncio
+
+import pytest
+
+from repro.core.persistence import load_checkpoint, save_detector
+from repro.flowgen import Dagflow, generate_attack, synthesize_trace
+from repro.netflow.records import PROTO_UDP, FlowKey, FlowRecord
+from repro.netflow.v1 import encode_v1_datagram
+from repro.netflow.v5 import datagrams_for
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    SHED_DROP_OLDEST,
+    SHED_REJECT_NEWEST,
+    CommitWorker,
+    DatagramRouter,
+    IngestQueue,
+    ServeConfig,
+    ServeDaemon,
+)
+from repro.util import SeededRng
+from repro.util.errors import ServeError
+
+from tests.conftest import make_detector
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+_SEED = 515
+
+
+def plain_record(index=0):
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=index + 1, dst_addr=9, protocol=PROTO_UDP, dst_port=9_000
+        ),
+        packets=1,
+        octets=64,
+        first=0,
+        last=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def serve_trace(eia_plan, target_prefix) -> List[FlowRecord]:
+    """Legal traffic plus a Slammer flood from foreign blocks: traffic
+    that must raise alerts, so alert-stream identity is a real check."""
+    rng = SeededRng(31337, "serve-tests")
+    records = []
+    legal = Dagflow(
+        "legal",
+        target_prefix=target_prefix,
+        udp_port=9000,
+        source_blocks=eia_plan[0],
+        rng=rng.fork("legal"),
+    )
+    records += [
+        lr.record.with_key(input_if=0)
+        for lr in legal.replay(synthesize_trace(400, rng=rng.fork("t-legal")))
+    ]
+    foreign = [
+        block
+        for peer, blocks in eia_plan.items()
+        if peer != 2
+        for block in blocks
+    ]
+    attack = Dagflow(
+        "attack",
+        target_prefix=target_prefix,
+        udp_port=9002,
+        source_blocks=foreign,
+        rng=rng.fork("attack"),
+    )
+    records += [
+        lr.record.with_key(input_if=2)
+        for lr in attack.replay(generate_attack("slammer", rng=rng.fork("a")))
+    ]
+    records.sort(key=lambda r: (r.first, r.key.src_addr, r.key.dst_addr))
+    return records
+
+
+def udp_sender(records, *, initial_sequence=0, chunk=20):
+    """A drive callback that ships records as v5 datagrams to the daemon.
+
+    Yields to the event loop every ``chunk`` datagrams so the receiving
+    protocol keeps pace and the kernel socket buffer never overflows.
+    """
+
+    async def drive(daemon: ServeDaemon) -> None:
+        assert daemon.address is not None
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sent = 0
+            for datagram in datagrams_for(
+                records,
+                sys_uptime=0,
+                unix_secs=0,
+                initial_sequence=initial_sequence,
+            ):
+                sock.sendto(datagram, daemon.address)
+                sent += 1
+                if sent % chunk == 0:
+                    await asyncio.sleep(0)
+        finally:
+            sock.close()
+
+    return drive
+
+
+def run_daemon(detector, config, drive, *, cursor_base=0):
+    """Run a daemon to completion alongside an async drive callback."""
+
+    async def main():
+        daemon = ServeDaemon(
+            detector, config, registry=MetricsRegistry(), cursor_base=cursor_base
+        )
+        task = asyncio.ensure_future(daemon.run())
+        await asyncio.wait_for(daemon.wait_started(), timeout=10)
+        try:
+            await drive(daemon)
+        except BaseException:
+            daemon.request_shutdown()
+            raise
+        report = await asyncio.wait_for(task, timeout=120)
+        return daemon, report
+
+    return asyncio.run(main())
+
+
+async def http_get(address, path):
+    reader, writer = await asyncio.open_connection(*address)
+    request = f"GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    writer.write(request.encode("ascii"))
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), body
+
+
+class TestRouter:
+    def test_v5_and_v1_and_garbage(self):
+        registry = MetricsRegistry()
+        queue = IngestQueue(64, registry=registry)
+        router = DatagramRouter(queue, registry=registry)
+        records = [plain_record(i) for i in range(3)]
+        for datagram in datagrams_for(records, sys_uptime=0, unix_secs=0):
+            assert router.route(datagram, source=4000) == 3
+        v1 = encode_v1_datagram(
+            [plain_record(9)], sys_uptime=0, unix_secs=0
+        )
+        assert router.route(v1, source=4000) == 1
+        assert router.route(b"not netflow", source=4000) == 0
+        assert router.route(b"\x00", source=4000) == 0
+        assert router.stats.v5_datagrams == 1
+        assert router.stats.v1_datagrams == 1
+        assert router.stats.invalid_datagrams == 2
+        assert len(queue) == 4
+
+    def test_truncated_v1_counted_invalid(self):
+        registry = MetricsRegistry()
+        queue = IngestQueue(8, registry=registry)
+        router = DatagramRouter(queue, registry=registry)
+        v1 = encode_v1_datagram([plain_record()], sys_uptime=0, unix_secs=0)
+        assert router.route(v1[:30], source=1) == 0
+        assert router.stats.invalid_datagrams == 1
+
+
+class TestShedAccounting:
+    def _fill(self, shed_policy, capacity=10, n=35):
+        registry = MetricsRegistry()
+        queue = IngestQueue(capacity, shed_policy=shed_policy, registry=registry)
+        router = DatagramRouter(queue, registry=registry)
+        records = [plain_record(i) for i in range(n)]
+        for datagram in datagrams_for(records, sys_uptime=0, unix_secs=0):
+            router.route(datagram, source=7)
+        return router, queue
+
+    def test_drop_oldest_reconciles(self):
+        router, queue = self._fill(SHED_DROP_OLDEST)
+        collected = router.collector.stats.records
+        assert collected == 35
+        # drop-oldest admits every collected record; evictions are shed.
+        assert queue.stats.enqueued == collected
+        assert queue.stats.shed == collected - queue.capacity
+        assert queue.stats.enqueued - queue.stats.shed == len(queue)
+        # The live edge survives: the newest records are the ones queued.
+        kept = [q.record.key.src_addr for q in queue.take_nowait(100)]
+        assert kept == list(range(26, 36))
+
+    def test_reject_newest_reconciles(self):
+        router, queue = self._fill(SHED_REJECT_NEWEST)
+        collected = router.collector.stats.records
+        # reject-newest admits only up to capacity; the rest are shed.
+        assert queue.stats.enqueued == queue.capacity
+        assert queue.stats.enqueued + queue.stats.shed == collected
+        kept = [q.record.key.src_addr for q in queue.take_nowait(100)]
+        assert kept == list(range(1, 11))
+
+
+class TestWorkerDrain:
+    def test_drain_commits_everything_admitted(
+        self, eia_plan, target_prefix, tmp_path
+    ):
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=400)
+        registry = MetricsRegistry()
+        ckpt = str(tmp_path / "drain.json")
+        config = ServeConfig(
+            port=0, batch_size=2, checkpoint_every=1, checkpoint_path=ckpt
+        )
+        queue = IngestQueue(64, registry=registry)
+        worker = CommitWorker(detector, queue, config, registry=registry)
+        rng = SeededRng(1, "drain")
+        legal = Dagflow(
+            "legal",
+            target_prefix=target_prefix,
+            udp_port=9000,
+            source_blocks=eia_plan[0],
+            rng=rng.fork("df"),
+        )
+        records = [
+            lr.record.with_key(input_if=0)
+            for lr in legal.replay(synthesize_trace(5, rng=rng.fork("t")))
+        ]
+        for record in records:
+            queue.put(record)
+        queue.close()
+        asyncio.run(worker.run())
+        assert worker.committed == len(records)
+        assert worker.batches == 3
+        # One periodic checkpoint per batch, plus the final drain one.
+        assert worker.checkpoints == 4
+        _restored, cursor = load_checkpoint(ckpt)
+        assert cursor == len(records)
+
+    def test_failed_reload_keeps_current_detector(
+        self, eia_plan, target_prefix, tmp_path
+    ):
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=400)
+        registry = MetricsRegistry()
+        config = ServeConfig(
+            port=0, reload_path=str(tmp_path / "missing.json")
+        )
+        queue = IngestQueue(8, registry=registry)
+        worker = CommitWorker(detector, queue, config, registry=registry)
+        worker.request_reload()
+        queue.put(plain_record())
+        queue.close()
+        asyncio.run(worker.run())
+        assert worker.reloads == 0
+        assert worker.detector is detector
+        assert worker.committed == 1
+
+    def test_latency_percentile_contract(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=400)
+        registry = MetricsRegistry()
+        queue = IngestQueue(8, registry=registry)
+        worker = CommitWorker(detector, queue, ServeConfig(), registry=registry)
+        assert worker.latency_percentile(0.5) == 0.0
+        with pytest.raises(ServeError):
+            worker.latency_percentile(1.5)
+        queue.put(plain_record())
+        queue.close()
+        asyncio.run(worker.run())
+        assert worker.latency_percentile(0.5) >= 0.0
+        assert worker.latency_percentile(0.99) >= worker.latency_percentile(0.0)
+
+
+class TestDaemonLoopback:
+    def test_udp_ingest_is_serial_equivalent(
+        self, eia_plan, target_prefix, serve_trace
+    ):
+        reference = make_detector(
+            eia_plan, target_prefix, seed=_SEED, n_train=600
+        )
+        reference.process_all(serve_trace)
+        expected = [alert.to_xml() for alert in reference.alert_sink.alerts]
+        assert expected, "the serve trace must raise alerts"
+
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=600)
+        config = ServeConfig(
+            port=0,
+            batch_size=64,
+            max_records=len(serve_trace),
+            idle_exit_s=5.0,
+        )
+        daemon, report = run_daemon(
+            detector, config, udp_sender(serve_trace)
+        )
+        assert report.records_committed == len(serve_trace)
+        assert report.records_collected == len(serve_trace)
+        assert report.records_shed == 0
+        assert report.lost_flows == 0
+        assert report.cursor == len(serve_trace)
+        got = [alert.to_xml() for alert in daemon.detector.alert_sink.alerts]
+        assert got == expected
+        assert "committed" in report.describe()
+
+    def test_shutdown_mid_ingest_drains_admitted_records(
+        self, eia_plan, target_prefix, serve_trace
+    ):
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=600)
+        config = ServeConfig(port=0, batch_size=32, idle_exit_s=10.0)
+
+        async def drive(daemon: ServeDaemon) -> None:
+            await udp_sender(serve_trace)(daemon)
+            # Wait until the worker has demonstrably started committing,
+            # then pull the plug mid-stream.
+            for _ in range(2_000):
+                if daemon.worker.committed > 0:
+                    break
+                await asyncio.sleep(0.005)
+            daemon.request_shutdown()
+            daemon.request_shutdown()  # idempotent
+
+        daemon, report = run_daemon(detector, config, drive)
+        # The drain guarantee: every record admitted to the queue before
+        # the shutdown was committed; nothing admitted was lost.
+        assert report.records_committed == report.records_enqueued
+        assert report.records_committed > 0
+        assert daemon.health()["state"] == "stopped"
+
+    def test_idle_exit_stops_an_untouched_daemon(
+        self, eia_plan, target_prefix
+    ):
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=400)
+        config = ServeConfig(port=0, idle_exit_s=0.2)
+
+        async def drive(daemon: ServeDaemon) -> None:
+            return None
+
+        _daemon, report = run_daemon(detector, config, drive)
+        assert report.records_committed == 0
+        assert report.batches == 0
+
+    def test_daemon_runs_only_once(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=400)
+        config = ServeConfig(port=0, idle_exit_s=0.2)
+
+        async def drive(daemon: ServeDaemon) -> None:
+            return None
+
+        daemon, _report = run_daemon(detector, config, drive)
+        with pytest.raises(ServeError):
+            asyncio.run(daemon.run())
+
+    def test_rejects_negative_cursor_base(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=400)
+        with pytest.raises(ServeError):
+            ServeDaemon(
+                detector,
+                ServeConfig(port=0),
+                registry=MetricsRegistry(),
+                cursor_base=-1,
+            )
+
+
+class TestWarmRestart:
+    def test_resumed_run_emits_identical_alert_stream(
+        self, eia_plan, target_prefix, serve_trace, tmp_path
+    ):
+        """The acceptance property: drain at the halfway cursor, restore
+        the checkpoint into a fresh daemon, replay the rest — the alert
+        stream must be indistinguishable from one uninterrupted run."""
+        reference = make_detector(
+            eia_plan, target_prefix, seed=_SEED, n_train=600
+        )
+        reference.process_all(serve_trace)
+        expected = [alert.to_xml() for alert in reference.alert_sink.alerts]
+        assert expected
+
+        half = len(serve_trace) // 2
+        ckpt = str(tmp_path / "warm.json")
+        first = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=600)
+        config1 = ServeConfig(
+            port=0,
+            batch_size=64,
+            checkpoint_path=ckpt,
+            checkpoint_every=3,
+            max_records=half,
+            idle_exit_s=5.0,
+        )
+        _daemon1, report1 = run_daemon(
+            first, config1, udp_sender(serve_trace[:half])
+        )
+        assert report1.records_committed == half
+        assert report1.checkpoints >= 1
+
+        restored, cursor = load_checkpoint(ckpt)
+        assert cursor == half
+        # A different batch size on the resumed run: batching must stay
+        # invisible in the output.
+        config2 = ServeConfig(
+            port=0,
+            batch_size=96,
+            checkpoint_path=ckpt,
+            max_records=len(serve_trace) - half,
+            idle_exit_s=5.0,
+        )
+        daemon2, report2 = run_daemon(
+            restored,
+            config2,
+            udp_sender(serve_trace[half:], initial_sequence=half),
+            cursor_base=cursor,
+        )
+        assert report2.cursor == len(serve_trace)
+        got = [alert.to_xml() for alert in daemon2.detector.alert_sink.alerts]
+        assert got == expected
+        _final, final_cursor = load_checkpoint(ckpt)
+        assert final_cursor == len(serve_trace)
+
+
+class TestHotReload:
+    def test_sighup_path_swaps_detector_at_batch_boundary(
+        self, eia_plan, target_prefix, serve_trace, tmp_path
+    ):
+        source = make_detector(eia_plan, target_prefix, seed=9_001, n_train=400)
+        ckpt = str(tmp_path / "reload.json")
+        save_detector(source, ckpt, cursor=0)
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=400)
+        records = serve_trace[:120]
+        config = ServeConfig(
+            port=0,
+            batch_size=32,
+            reload_path=ckpt,
+            max_records=len(records),
+            idle_exit_s=5.0,
+        )
+
+        async def drive(daemon: ServeDaemon) -> None:
+            daemon.request_reload()
+            await udp_sender(records)(daemon)
+
+        daemon, report = run_daemon(detector, config, drive)
+        assert report.reloads == 1
+        assert daemon.detector is not detector
+        assert report.records_committed == len(records)
+
+
+class TestHttpEndpoint:
+    def test_health_metrics_stats_and_errors(self, eia_plan, target_prefix):
+        detector = make_detector(eia_plan, target_prefix, seed=_SEED, n_train=400)
+        config = ServeConfig(port=0, http_port=0, idle_exit_s=30.0)
+
+        async def drive(daemon: ServeDaemon) -> None:
+            assert daemon.http_address is not None
+            status, body = await http_get(daemon.http_address, "/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["state"] == "serving"
+            assert health["queue_capacity"] == config.queue_capacity
+            status, body = await http_get(daemon.http_address, "/metrics")
+            assert status == 200
+            assert b"infilter_serve_queue_depth" in body
+            status, body = await http_get(daemon.http_address, "/stats.json")
+            assert status == 200
+            json.loads(body)
+            status, _body = await http_get(daemon.http_address, "/nope")
+            assert status == 404
+            daemon.request_shutdown()
+
+        _daemon, report = run_daemon(detector, config, drive)
+        assert report.records_committed == 0
+
+
+class TestServeSubprocess:
+    """A real ``infilter serve`` process, a real SIGTERM."""
+
+    def _spawn(self, arguments, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *arguments],
+            cwd=str(tmp_path),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def _await_lines(self, process):
+        """Read stdout until both bound addresses are announced."""
+        udp_port = http_port = None
+        assert process.stdout is not None
+        while udp_port is None or http_port is None:
+            line = process.stdout.readline()
+            if not line:
+                raise AssertionError(
+                    f"serve exited early: {process.stderr.read()}"
+                )
+            if line.startswith("listening on udp://"):
+                udp_port = int(line.rsplit(":", 1)[1])
+            if line.startswith("observability on http://"):
+                http_port = int(
+                    line.split("http://", 1)[1].split(" ", 1)[0].rsplit(":", 1)[1]
+                )
+        return udp_port, http_port
+
+    def test_sigterm_drains_and_resume_matches_uninterrupted(
+        self, eia_plan, target_prefix, serve_trace, tmp_path
+    ):
+        from repro.netflow.files import write_flow_file
+
+        rng = SeededRng(2005, "cli-serve-test")
+        trainer = Dagflow(
+            "trainer",
+            target_prefix=target_prefix,
+            udp_port=9000,
+            source_blocks=eia_plan[0],
+            rng=rng.fork("df"),
+        )
+        training = [
+            lr.record.with_key(input_if=0)
+            for lr in trainer.replay(synthesize_trace(400, rng=rng.fork("t")))
+        ]
+        write_flow_file(str(tmp_path / "train.flows"), training)
+        plan_lines = [
+            f"{peer} {block}"
+            for peer, blocks in eia_plan.items()
+            for block in blocks
+        ]
+        (tmp_path / "plan.txt").write_text("\n".join(plan_lines) + "\n")
+
+        process = self._spawn(
+            [
+                "serve",
+                "plan.txt",
+                "--training-file",
+                "train.flows",
+                "--listen",
+                "127.0.0.1:0",
+                "--http-port",
+                "0",
+                "--save-state",
+                "ckpt.json",
+                "--checkpoint-every",
+                "2",
+                "--alerts-out",
+                "alerts-1.xml",
+                "--idle-exit-s",
+                "60",
+            ],
+            tmp_path,
+        )
+        try:
+            udp_port, http_port = self._await_lines(process)
+            half = len(serve_trace) // 2
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                for datagram in datagrams_for(
+                    serve_trace[:half], sys_uptime=0, unix_secs=0
+                ):
+                    sock.sendto(datagram, ("127.0.0.1", udp_port))
+            finally:
+                sock.close()
+            deadline = 200
+            committed = -1
+            while deadline > 0:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{http_port}/healthz", timeout=5
+                ) as response:
+                    committed = json.load(response)["records_committed"]
+                if committed >= half:
+                    break
+                deadline -= 1
+                time.sleep(0.05)
+            assert committed == half
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=30)
+        assert process.returncode == 0, err
+        assert f"serve: {half} committed" in out
+        _detector, cursor = load_checkpoint(str(tmp_path / "ckpt.json"))
+        assert cursor == half
+
+        # Resume warm and replay the second half; the combined alert
+        # stream must match one uninterrupted CLI-built run.
+        process = self._spawn(
+            [
+                "serve",
+                "--load-state",
+                "ckpt.json",
+                "--resume",
+                "--listen",
+                "127.0.0.1:0",
+                "--http-port",
+                "0",
+                "--save-state",
+                "ckpt.json",
+                "--alerts-out",
+                "alerts-2.xml",
+                "--max-records",
+                str(len(serve_trace) - half),
+                "--idle-exit-s",
+                "60",
+            ],
+            tmp_path,
+        )
+        try:
+            udp_port, _http_port = self._await_lines(process)
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                for datagram in datagrams_for(
+                    serve_trace[half:],
+                    sys_uptime=0,
+                    unix_secs=0,
+                    initial_sequence=half,
+                ):
+                    sock.sendto(datagram, ("127.0.0.1", udp_port))
+            finally:
+                sock.close()
+            out, err = process.communicate(timeout=120)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=30)
+        assert process.returncode == 0, err
+        assert f"(cursor {len(serve_trace)})" in out
+
+        from repro.core import EnhancedInFilter, PipelineConfig
+
+        reference = EnhancedInFilter(
+            PipelineConfig.enhanced_default(),
+            rng=SeededRng(2005, "cli-serve"),
+        )
+        for peer, blocks in eia_plan.items():
+            reference.preload_eia(peer, blocks)
+        reference.train(training)
+        reference.process_all(serve_trace)
+        expected = "".join(
+            alert.to_xml() + "\n" for alert in reference.alert_sink.alerts
+        )
+        assert expected
+        # --resume writes the full alert history, so the second file IS
+        # the complete stream of the interrupted-and-resumed run.
+        assert (tmp_path / "alerts-2.xml").read_text() == expected

@@ -1,0 +1,198 @@
+"""Tests for the serve configuration and the bounded ingest queue.
+
+The queue is the backpressure boundary of the daemon: these tests pin
+down the two shed policies, the close-then-drain contract that graceful
+shutdown depends on, and the micro-batch linger behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.netflow.records import PROTO_UDP, FlowKey, FlowRecord
+from repro.obs import MetricsRegistry
+from repro.serve.config import (
+    SHED_DROP_OLDEST,
+    SHED_REJECT_NEWEST,
+    ServeConfig,
+)
+from repro.serve.queue import IngestQueue
+from repro.util.errors import ConfigError, ServeError
+
+
+def record(index=0):
+    return FlowRecord(
+        key=FlowKey(
+            src_addr=index + 1, dst_addr=9, protocol=PROTO_UDP, dst_port=9_000
+        ),
+        packets=1,
+        octets=64,
+        first=0,
+        last=10,
+    )
+
+
+def make_queue(capacity=4, **kwargs):
+    return IngestQueue(capacity, registry=MetricsRegistry(), **kwargs)
+
+
+class TestServeConfig:
+    def test_defaults_are_valid(self):
+        config = ServeConfig()
+        assert config.shed_policy == SHED_DROP_OLDEST
+        assert config.checkpoint_every == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"port": -1},
+            {"port": 70_000},
+            {"queue_capacity": 0},
+            {"shed_policy": "drop-some"},
+            {"batch_size": 0},
+            {"batch_linger_s": -0.1},
+            {"checkpoint_every": -1},
+            {"checkpoint_every": 5},  # without a checkpoint_path
+            {"http_port": 70_000},
+            {"max_records": 0},
+            {"idle_exit_s": 0.0},
+        ],
+    )
+    def test_rejects_contradictory_configs(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServeConfig(**kwargs)
+
+    def test_reload_path_defaults_to_checkpoint_path(self):
+        config = ServeConfig(checkpoint_every=2, checkpoint_path="ckpt.json")
+        assert config.effective_reload_path == "ckpt.json"
+        explicit = ServeConfig(reload_path="other.json")
+        assert explicit.effective_reload_path == "other.json"
+        assert ServeConfig().effective_reload_path is None
+
+
+class TestIngestQueue:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigError):
+            make_queue(capacity=0)
+        with pytest.raises(ConfigError):
+            make_queue(shed_policy="coin-flip")
+
+    def test_put_admits_and_counts(self):
+        queue = make_queue()
+        assert queue.put(record()) is True
+        assert len(queue) == 1
+        assert queue.stats.enqueued == 1
+        assert queue.stats.high_watermark == 1
+
+    def test_drop_oldest_evicts_the_head(self):
+        queue = make_queue(capacity=2, shed_policy=SHED_DROP_OLDEST)
+        for i in range(3):
+            assert queue.put(record(i)) is True
+        assert queue.stats.shed == 1
+        # The head (record 0) was sacrificed; the live edge survives.
+        kept = [q.record.key.src_addr for q in queue.take_nowait(10)]
+        assert kept == [2, 3]
+
+    def test_reject_newest_refuses_the_incoming_record(self):
+        queue = make_queue(capacity=2, shed_policy=SHED_REJECT_NEWEST)
+        assert queue.put(record(0)) is True
+        assert queue.put(record(1)) is True
+        assert queue.put(record(2)) is False
+        assert queue.stats.shed == 1
+        kept = [q.record.key.src_addr for q in queue.take_nowait(10)]
+        assert kept == [1, 2]
+
+    def test_put_after_close_is_a_contract_violation(self):
+        queue = make_queue()
+        queue.close()
+        with pytest.raises(ServeError):
+            queue.put(record())
+
+    def test_take_nowait_respects_limit_and_counts(self):
+        queue = make_queue(capacity=8)
+        for i in range(5):
+            queue.put(record(i))
+        first = queue.take_nowait(3)
+        assert [q.record.key.src_addr for q in first] == [1, 2, 3]
+        assert queue.stats.dequeued == 3
+        assert len(queue) == 2
+
+    def test_get_batch_rejects_bad_max_batch(self):
+        queue = make_queue()
+
+        async def main():
+            await queue.get_batch(0)
+
+        with pytest.raises(ConfigError):
+            asyncio.run(main())
+
+    def test_get_batch_wakes_on_put(self):
+        async def main():
+            queue = make_queue()
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                queue.put(record(7))
+
+            task = asyncio.ensure_future(producer())
+            batch = await asyncio.wait_for(queue.get_batch(8), timeout=5)
+            await task
+            return batch
+
+        batch = asyncio.run(main())
+        assert [q.record.key.src_addr for q in batch] == [8]
+
+    def test_get_batch_lingers_to_fill(self):
+        async def main():
+            queue = make_queue(capacity=16)
+            queue.put(record(0))
+
+            async def producer():
+                await asyncio.sleep(0.02)
+                for i in range(1, 4):
+                    queue.put(record(i))
+
+            task = asyncio.ensure_future(producer())
+            batch = await queue.get_batch(4, linger_s=0.5)
+            await task
+            return batch
+
+        batch = asyncio.run(main())
+        assert len(batch) == 4
+
+    def test_close_then_drain_then_empty_batch(self):
+        async def main():
+            queue = make_queue(capacity=8)
+            for i in range(5):
+                queue.put(record(i))
+            queue.close()
+            batches = []
+            while True:
+                batch = await queue.get_batch(2)
+                if not batch:
+                    break
+                batches.append([q.record.key.src_addr for q in batch])
+            return batches, queue.stats
+
+        batches, stats = asyncio.run(main())
+        # Everything admitted before the close is still delivered, in
+        # order; only then does the empty drain marker appear.
+        assert batches == [[1, 2], [3, 4], [5]]
+        assert stats.dequeued == 5
+
+    def test_get_batch_on_closed_empty_queue_returns_immediately(self):
+        async def main():
+            queue = make_queue()
+            queue.close()
+            return await asyncio.wait_for(queue.get_batch(4), timeout=5)
+
+        assert asyncio.run(main()) == []
+
+    def test_enqueued_timestamps_are_monotonic(self):
+        queue = make_queue(capacity=8)
+        for i in range(3):
+            queue.put(record(i))
+        stamps = [q.enqueued_s for q in queue.take_nowait(8)]
+        assert stamps == sorted(stamps)
