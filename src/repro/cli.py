@@ -6,8 +6,10 @@
 * ``infilter report``     — flow-report style statistics over a flow file;
 * ``infilter detect``     — run the Enhanced InFilter over a flow file and
   emit IDMEF alerts (plus a trace-back summary); ``--shards`` /
-  ``--batch-size`` / ``--engine-mode`` route the run through the sharded
-  batch ingest engine (:mod:`repro.engine`) with identical verdicts;
+  ``--batch-size`` / ``--engine-mode`` / ``--fastpath`` route the run
+  through the sharded batch ingest engine (:mod:`repro.engine`) with
+  identical verdicts (``--no-fastpath`` disables the engine's
+  cross-batch verdict memo for apples-to-apples baselines);
   ``--checkpoint-every N`` writes periodic atomic checkpoints to the
   ``--save-state`` path and ``--load-state … --resume`` continues a
   killed run from its checkpoint cursor;
@@ -287,6 +289,7 @@ def _run_detect(args: argparse.Namespace) -> int:
         args.shards is not None
         or args.batch_size is not None
         or args.engine_mode is not None
+        or args.fastpath is not None
     )
     if use_engine:
         from repro.engine import EngineConfig, ShardedIngestEngine
@@ -300,6 +303,7 @@ def _run_detect(args: argparse.Namespace) -> int:
                 ),
                 mode=args.engine_mode if args.engine_mode is not None else "auto",
                 checkpoint_every=checkpoint_every,
+                fastpath=args.fastpath if args.fastpath is not None else True,
             ),
             checkpoint_path=args.save_state if checkpoint_every else None,
             cursor_base=resume_cursor,
@@ -333,6 +337,15 @@ def _run_detect(args: argparse.Namespace) -> int:
     )
     if engine_report is not None:
         print(engine_report.describe(), file=out)
+        if detector.fastpath is not None:
+            memo = detector.fastpath.stats()
+            print(
+                f"fastpath: {memo['hits']} memo hits,"
+                f" {memo['misses']} misses,"
+                f" {memo['evictions']} evictions,"
+                f" {memo['invalidations']} invalidations",
+                file=out,
+            )
     analyzer = TracebackAnalyzer()
     analyzer.consume_all(detector.alert_sink.alerts[alerts_before:])
     if len(analyzer):
@@ -456,6 +469,7 @@ def _run_serve(args: argparse.Namespace, registry: MetricsRegistry) -> int:
         http_port=args.http_port,
         max_records=args.max_records,
         idle_exit_s=args.idle_exit_s,
+        fastpath=args.fastpath,
     )
     daemon = ServeDaemon(
         detector, serve_config, registry=registry, cursor_base=cursor_base
@@ -844,6 +858,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine execution mode (implies the engine; default auto)",
     )
     detect.add_argument(
+        "--fastpath",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="vectorized zero-copy data plane (implies the engine; default"
+        " on when the engine runs; --no-fastpath for the memo-free"
+        " baseline)",
+    )
+    detect.add_argument(
         "--checkpoint-every",
         type=int,
         default=None,
@@ -937,6 +959,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="S",
         help="drain and exit after S seconds without traffic",
+    )
+    serve.add_argument(
+        "--fastpath",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="columnar zero-copy decode + cross-batch verdict memo"
+        " (default on; --no-fastpath for the record-at-a-time baseline)",
     )
     serve.add_argument(
         "--alerts-out",

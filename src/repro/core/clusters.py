@@ -16,9 +16,10 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import NNSConfig
-from repro.core.encoding import UnaryEncoder, hamming
+from repro.core.encoding import UnaryEncoder
 from repro.core.nns import NNSStructure, SearchResult, TrainingFlow
 from repro.core.state import StateDict, stateful
+from repro.fastpath.bitpack import PackedCodes
 from repro.netflow.records import (
     PORT_DNS,
     PORT_FTP,
@@ -245,11 +246,15 @@ def _calibrate_threshold(
     if len(flows) > cap:
         stride = len(flows) / cap
         sample = [flows[int(i * stride)] for i in range(cap)]
+    # One packed popcount sweep per probe instead of a per-flow hamming()
+    # call: identical distances, a fraction of the interpreter traffic.
+    packed = PackedCodes([flow.encoded for flow in flows], config.dimension)
     distances: List[int] = []
     for probe in sample:
+        sweep = packed.distances(probe.encoded)
         nearest = min(
-            hamming(probe.encoded, other.encoded)
-            for other in flows
+            distance
+            for distance, other in zip(sweep, flows)
             if other.index != probe.index
         )
         distances.append(nearest)

@@ -118,6 +118,16 @@ class BasicInFilter:
         self._owner: PrefixTrie[int] = PrefixTrie()
         # (peer, block) -> benign observations, for the learning rule.
         self._pending: Dict[Tuple[int, Prefix], int] = {}
+        #: Monotonic counter bumped by every mutation that can change a
+        #: ``check()`` outcome (preload, training init, absorption,
+        #: checkpoint restore).  Derived bookkeeping for epoch-guarded
+        #: caches (``repro.fastpath``); never checkpointed.
+        self.mutation_epoch = 0
+        #: Upper bound on the length of any stored prefix.  Within an
+        #: address block of this length every address shares the same
+        #: longest-match result, so ``address >> memo_shift`` is a sound
+        #: verdict-memo key.  Also derived; never checkpointed.
+        self.max_prefix_len = 0
         registry = registry if registry is not None else get_registry()
         self._m_blocks = registry.gauge(
             "infilter_eia_blocks",
@@ -176,9 +186,25 @@ class BasicInFilter:
     def _insert(self, eia: EIASet, prefix: Prefix) -> None:
         eia.add(prefix)
         self._owner.insert(prefix, eia.peer)
+        self.mutation_epoch += 1
+        if prefix.length > self.max_prefix_len:
+            self.max_prefix_len = prefix.length
         self._m_blocks.labels(peer=eia.peer).set(len(eia))
 
     # -- the check ----------------------------------------------------------
+
+    @property
+    def memo_shift(self) -> int:
+        """Right-shift collapsing an address onto its verdict-sharing block.
+
+        All stored prefixes are at most ``max_prefix_len`` bits, so two
+        addresses agreeing on their top ``max_prefix_len`` bits get
+        identical :meth:`check` results for a given ingress — the
+        invariant the fastpath verdict memo keys on.  With no prefixes
+        stored the shift is 32 and every address shares one key, which is
+        exactly right (every check is ``UNKNOWN_SOURCE``).
+        """
+        return 32 - self.max_prefix_len
 
     def expected_peer_for(self, address: int) -> Optional[int]:
         """The peer AS whose EIA set covers ``address`` (``ASIP(φ)``)."""
@@ -256,7 +282,11 @@ class BasicInFilter:
         """EIA sets plus the learning rule's pending counters.
 
         The reverse owner index is derived (every block in every set owns
-        its entry) and is rebuilt on load rather than stored.
+        its entry) and is rebuilt on load rather than stored.  The
+        mutation epoch and prefix-length bound are likewise derived cache
+        bookkeeping and deliberately excluded: a checkpoint must be
+        byte-identical whether or not a fastpath memo was attached, and
+        a restored detector always starts its caches cold.
         """
         return {
             "peers": {
@@ -276,12 +306,18 @@ class BasicInFilter:
         self._sets = {}
         self._owner = PrefixTrie()
         self._pending = {}
+        # A restore rewrites everything check() depends on: advance the
+        # epoch so any attached verdict memo self-invalidates.
+        self.mutation_epoch += 1
+        self.max_prefix_len = 0
         for peer_text, section in state["peers"].items():
             peer = int(peer_text)
             eia = self.ensure_peer(peer)
             eia.load_state(section)
             for prefix in eia.prefixes():
                 self._owner.insert(prefix, peer)
+                if prefix.length > self.max_prefix_len:
+                    self.max_prefix_len = prefix.length
             self._m_blocks.labels(peer=peer).set(len(eia))
         for entry in state["pending"]:
             key = (int(entry["peer"]), Prefix.parse(entry["prefix"]))

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.config import NNSConfig
 from repro.core.encoding import UnaryEncoder, hamming, parity_inner_product
 from repro.core.state import StateDict, stateful
+from repro.fastpath.bitpack import PackedCodes
 from repro.netflow.records import FlowStats
 from repro.util.errors import TrainingError
 from repro.util.rng import SeededRng
@@ -156,6 +157,10 @@ class NNSStructure:
         self._deltas = _ball_deltas(config.m2, config.m3)
         self._scales: Dict[int, List[_TraceTable]] = {}
         self.scales_built = 0
+        # Derived cache: the training codes bit-packed for popcount
+        # distance sweeps.  Built lazily, never checkpointed, dropped
+        # whenever `flows` is replaced (load_state).
+        self._packed: Optional[PackedCodes] = None
 
     @property
     def dimension(self) -> int:
@@ -252,6 +257,7 @@ class NNSStructure:
         self._pick_rng.load_state(state["pick_rng"])
         self._scales = {}
         self.scales_built = 0
+        self._packed = None
 
     @classmethod
     def from_state(
@@ -267,11 +273,32 @@ class NNSStructure:
         structure.load_state(state)
         return structure
 
+    def packed_codes(self) -> PackedCodes:
+        """The training codes packed for popcount distance sweeps.
+
+        A derived cache over ``self.flows`` — positions match the flows
+        list, so a ``distances()`` sweep lines up with it index for
+        index.
+        """
+        if self._packed is None:
+            self._packed = PackedCodes(
+                [flow.encoded for flow in self.flows], self.dimension
+            )
+        return self._packed
+
     def nearest_exact(self, encoded: int) -> SearchResult:
-        """Brute-force exact nearest neighbour (calibration & testing)."""
-        flow = min(
-            self.flows, key=lambda f: (hamming(f.encoded, encoded), f.index)
+        """Brute-force exact nearest neighbour (calibration & testing).
+
+        One packed popcount sweep over the corpus; the winner (ties to
+        the earliest training index) is identical to a per-flow
+        ``min(..., key=(hamming, index))`` scan.
+        """
+        flows = self.flows
+        distances = self.packed_codes().distances(encoded)
+        position = min(
+            range(len(distances)),
+            key=lambda i: (distances[i], flows[i].index),
         )
         return SearchResult(
-            flow=flow, distance=hamming(flow.encoded, encoded), scale=0
+            flow=flows[position], distance=distances[position], scale=0
         )

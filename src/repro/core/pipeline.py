@@ -29,6 +29,7 @@ from repro.core.eia import BasicInFilter, EIACheck
 from repro.core.nns import SearchResult
 from repro.core.scan import ScanAnalyzer, ScanVerdict
 from repro.core.state import StateDict, stateful
+from repro.fastpath.plane import DEFAULT_MEMO_CAPACITY, FastPath
 from repro.netflow.records import FlowRecord
 from repro.obs import MetricsRegistry, Stopwatch, get_logger, get_registry
 from repro.util.errors import ConfigError, EngineError, TrainingError
@@ -333,6 +334,19 @@ class EnhancedInFilter:
         # unary encoding).  Valid across batches because the trained model
         # is immutable; bounded by _NNS_MEMO_CAP.
         self._nns_memo: Dict[Tuple[str, int], NnsAssessment] = {}
+        # Raw-field front memo over _nns_memo: (protocol, dst_port,
+        # packets, octets, duration) fully determine the protocol class
+        # and the unary encoding (stats() derives every feature from
+        # packets/octets/duration), so a repeated flow shape skips
+        # stats() + encode() entirely.  Same purity argument, lifetime,
+        # and cap as _nns_memo.
+        self._nns_raw_memo: Dict[
+            Tuple[int, int, int, int, int], NnsAssessment
+        ] = {}
+        #: Optional cross-batch EIA verdict memo (repro.fastpath).  A
+        #: derived cache like the NNS memo: excluded from state_dict,
+        #: cold after load_state, and epoch-invalidated on EIA mutation.
+        self.fastpath: Optional[FastPath[Tuple[int, int], EIACheck]] = None
 
     _NNS_MEMO_CAP = 65_536
 
@@ -355,6 +369,31 @@ class EnhancedInFilter:
             records, self.config.nns, rng=self._rng.fork("model")
         )
         self._nns_memo.clear()
+        self._nns_raw_memo.clear()
+
+    # -- the fastpath memo ---------------------------------------------------
+
+    def enable_fastpath(
+        self, capacity: int = DEFAULT_MEMO_CAPACITY
+    ) -> "FastPath[Tuple[int, int], EIACheck]":
+        """Attach the cross-batch EIA verdict memo (idempotent).
+
+        With the memo attached, :meth:`process_batch` keys EIA checks by
+        ``(source block, ingress)`` — where the block width tracks the
+        longest stored EIA prefix — and reuses verdicts *across* batches
+        until the :class:`~repro.core.eia.BasicInFilter` mutation epoch
+        moves (absorption, preload, restore).  Decision-equivalence to
+        the serial path is unchanged; only where the check is computed
+        changes.  The serial :meth:`process` path never consults the
+        memo: it stays the measured per-flow baseline.
+        """
+        if self.fastpath is None:
+            self.fastpath = FastPath(capacity, registry=self.registry)
+        return self.fastpath
+
+    def disable_fastpath(self) -> None:
+        """Detach (and drop) the cross-batch EIA verdict memo."""
+        self.fastpath = None
 
     # -- online operation (mode e) ------------------------------------------
 
@@ -456,7 +495,10 @@ class EnhancedInFilter:
           batch — invalidated whenever an absorption rewrites the sets —
           and NNS assessments are memoised across batches per (protocol
           class, unary encoding), both of which are pure given the state
-          they key on.
+          they key on.  With :meth:`enable_fastpath` the EIA memo is
+          instead the bounded cross-batch LRU of :mod:`repro.fastpath`,
+          keyed per (source *block*, ingress) and invalidated by the
+          EIA mutation epoch — same verdicts, fewer trie walks.
 
         ``speculation``, when given, must align with ``records``; entries
         are :class:`NnsAssessment` results precomputed by shard workers
@@ -477,12 +519,30 @@ class EnhancedInFilter:
         spec_hits = 0
         spec_misses = 0
         granularity = self.config.eia.granularity
+        infilter = self.infilter
+        fastpath = self.fastpath
+        # Epoch and key shift are hoisted out of the loop and refreshed
+        # only when an absorption mutates the EIA state mid-batch.
+        fp_epoch = infilter.mutation_epoch if fastpath is not None else 0
+        fp_shift = infilter.memo_shift if fastpath is not None else 0
         for index, record in enumerate(records):
-            memo_key = (record.key.src_addr, record.key.input_if)
-            eia = eia_memo.get(memo_key)
-            if eia is None:
-                eia = self.infilter.check(record)
-                eia_memo[memo_key] = eia
+            if fastpath is not None:
+                fp_key = (record.key.src_addr >> fp_shift, record.key.input_if)
+                fp_hit = fastpath.lookup(fp_key, fp_epoch)
+                if fp_hit is None:
+                    eia = infilter.check(record)
+                    fastpath.store(fp_key, eia, fp_epoch)
+                else:
+                    eia = fp_hit
+            else:
+                memo_hit = eia_memo.get(
+                    (record.key.src_addr, record.key.input_if)
+                )
+                if memo_hit is None:
+                    eia = infilter.check(record)
+                    eia_memo[(record.key.src_addr, record.key.input_if)] = eia
+                else:
+                    eia = memo_hit
             if not eia.suspect:
                 decisions.append(
                     Decision(verdict=Verdict.LEGAL, stage=Stage.EIA, eia=eia)
@@ -533,6 +593,9 @@ class EnhancedInFilter:
                     )
                     # Ownership moved; every memoised check may be stale.
                     eia_memo.clear()
+                    if fastpath is not None:
+                        fp_epoch = infilter.mutation_epoch
+                        fp_shift = infilter.memo_shift
                 decisions.append(
                     Decision(
                         verdict=Verdict.BENIGN,
@@ -589,19 +652,34 @@ class EnhancedInFilter:
             raise TrainingError(
                 "enhanced pipeline processed a suspect flow before train()"
             )
+        raw_key = (
+            record.key.protocol,
+            record.key.dst_port,
+            record.packets,
+            record.octets,
+            record.last - record.first,
+        )
+        cached = self._nns_raw_memo.get(raw_key)
+        if cached is not None:
+            return cached
         name = protocol_class(record)
         subcluster = self.model.subclusters.get(name)
         if subcluster is None:
-            return NnsAssessment(None, None, name)
-        encoded = self.model.encoder.encode(record.stats())
-        key = (name, encoded)
-        assessment = self._nns_memo.get(key)
-        if assessment is None:
-            if len(self._nns_memo) >= self._NNS_MEMO_CAP:
-                self._nns_memo.clear()
-            is_normal, neighbour = subcluster.assess(encoded)
-            assessment = NnsAssessment(is_normal, neighbour, name)
-            self._nns_memo[key] = assessment
+            assessment = NnsAssessment(None, None, name)
+        else:
+            encoded = self.model.encoder.encode(record.stats())
+            key = (name, encoded)
+            memoised = self._nns_memo.get(key)
+            if memoised is None:
+                if len(self._nns_memo) >= self._NNS_MEMO_CAP:
+                    self._nns_memo.clear()
+                is_normal, neighbour = subcluster.assess(encoded)
+                memoised = NnsAssessment(is_normal, neighbour, name)
+                self._nns_memo[key] = memoised
+            assessment = memoised
+        if len(self._nns_raw_memo) >= self._NNS_MEMO_CAP:
+            self._nns_raw_memo.clear()
+        self._nns_raw_memo[raw_key] = assessment
         return assessment
 
     # -- the stage-state protocol --------------------------------------------
@@ -619,10 +697,12 @@ class EnhancedInFilter:
     def state_dict(self) -> StateDict:
         """The composed state of every stage, one section per component.
 
-        The NNS memo is a derived cache and is rebuilt lazily; everything
-        else a resumed run could observe — EIA sets, scan suspicion,
-        the trained model, stats, alert history, RNG cursors, overload
-        window — is captured.
+        The NNS memo and the fastpath EIA verdict memo are derived
+        caches and are rebuilt lazily (checkpoints are byte-identical
+        with those caches hot or cold); everything else a resumed run
+        could observe — EIA sets, scan suspicion, the trained model,
+        stats, alert history, RNG cursors, overload window — is
+        captured.
         """
         return {
             "eia": self.infilter.state_dict(),
@@ -655,6 +735,12 @@ class EnhancedInFilter:
         self._overload_counter = int(overload["counter"])
         self._suspect_times = deque(int(stamp) for stamp in overload["suspect_times"])
         self._nns_memo.clear()
+        self._nns_raw_memo.clear()
+        # The EIA epoch moved during the restore, so the memo would
+        # self-invalidate on first probe anyway; dropping it now keeps
+        # restored memory footprints predictable.
+        if self.fastpath is not None:
+            self.fastpath.invalidate()
 
     # -- internals ------------------------------------------------------------
 

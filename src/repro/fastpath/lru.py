@@ -1,0 +1,87 @@
+"""A bounded LRU memo for per-block verdicts.
+
+The batch data plane sees the same (source block, ingress interface)
+pair thousands of times per second during an attack or a heavy legal
+transfer; the EIA verdict for the pair is constant between EIA
+mutations.  :class:`VerdictLRU` is the bounded memo that exploits that:
+ordered-dict recency tracking, O(1) get/put, and a wholesale
+``invalidate_all`` that the owning plane calls whenever the
+authoritative state mutates (absorption, route churn, checkpoint
+restore).
+
+The memo is derived data and is deliberately *not* a
+:class:`~repro.core.state.Stateful` participant: it never appears in a
+``state_dict`` and a restored detector always starts cold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Optional, Tuple, TypeVar
+
+from repro.util.errors import ConfigError
+
+__all__ = ["VerdictLRU"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class VerdictLRU(Generic[K, V]):
+    """Bounded least-recently-used map with hit/miss/eviction accounting."""
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions", "invalidations")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get(self, key: K) -> Optional[V]:
+        """The memoised value for ``key``, refreshing its recency; None on miss.
+
+        A miss is counted here, a hit refreshes the entry to
+        most-recently-used — the standard LRU contract.
+        """
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Memoise ``key`` -> ``value``, evicting the LRU entry when full."""
+        entries = self._entries
+        if key in entries:
+            entries[key] = value
+            entries.move_to_end(key)
+            return
+        if len(entries) >= self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[key] = value
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (state mutated under us); returns the count dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.invalidations += 1
+        return dropped
+
+    def counters(self) -> Tuple[int, int, int, int]:
+        """(hits, misses, evictions, invalidations) — for stats surfaces."""
+        return (self.hits, self.misses, self.evictions, self.invalidations)

@@ -130,13 +130,33 @@ class FlowCollector:
         try:
             header, records = decode_datagram(data)
         except NetFlowError as error:
-            self.stats.decode_errors += 1
-            self._m_decode_errors.inc()
-            log.warning(
-                "dropped undecodable datagram",
-                extra={"source": source, "reason": str(error)},
-            )
+            self.note_decode_error(source, str(error))
             return []
+        return self.receive_decoded(header, records, source=source)
+
+    def note_decode_error(self, source: int, reason: str) -> None:
+        """Account one dropped undecodable datagram.
+
+        Exposed so front ends that decode before the collector (the
+        fastpath columnar router) keep the decode-error accounting in one
+        place — same counters, metric, and log line as :meth:`receive`.
+        """
+        self.stats.decode_errors += 1
+        self._m_decode_errors.inc()
+        log.warning(
+            "dropped undecodable datagram",
+            extra={"source": source, "reason": reason},
+        )
+
+    def receive_decoded(
+        self, header: V5Header, records: List[FlowRecord], source: int = 0
+    ) -> List[FlowRecord]:
+        """Ingest an already-decoded v5 datagram (the zero-copy hand-off).
+
+        Duplicate suppression, sequence tracking, and sink delivery are
+        identical to :meth:`receive`; only the wire decode has happened
+        elsewhere (e.g. :func:`repro.fastpath.columnar.decode_v5_columnar`).
+        """
         if self._is_duplicate(source, header):
             self.stats.duplicates += 1
             self._m_duplicates.inc()

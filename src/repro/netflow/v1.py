@@ -27,6 +27,8 @@ __all__ = [
     "NETFLOW_V1_VERSION",
     "V1_HEADER_LEN",
     "V1_RECORD_LEN",
+    "V1_HEADER_STRUCT",
+    "V1_RECORD_STRUCT",
     "MAX_V1_RECORDS",
     "encode_v1_datagram",
     "decode_v1_datagram",
@@ -42,6 +44,12 @@ _V1_HEADER = struct.Struct("!HHIII")
 # srcaddr dstaddr nexthop input output dPkts dOctets first last
 # srcport dstport pad1(2) prot tos flags pad2(7)
 _V1_RECORD = struct.Struct("!IIIHHIIIIHHHBBB7x")
+
+#: Public aliases of the compiled wire structs so the columnar fastpath
+#: decoder (`repro.fastpath.columnar`) shares the exact same layout
+#: definitions instead of re-declaring format strings that could drift.
+V1_HEADER_STRUCT = _V1_HEADER
+V1_RECORD_STRUCT = _V1_RECORD
 
 _U16 = 0xFFFF
 _U32 = 0xFFFFFFFF

@@ -35,6 +35,8 @@ __all__ = [
     "MAX_RECORDS_PER_DATAGRAM",
     "HEADER_LEN",
     "RECORD_LEN",
+    "HEADER_STRUCT",
+    "RECORD_STRUCT",
     "V5Header",
     "encode_datagram",
     "decode_datagram",
@@ -48,6 +50,12 @@ RECORD_LEN = 48
 
 _HEADER = struct.Struct("!HHIIIIBBH")
 _RECORD = struct.Struct("!IIIHHIIIIHHBBBBHHBBH")
+
+#: Public aliases of the compiled wire structs so the columnar fastpath
+#: decoder (`repro.fastpath.columnar`) shares the exact same layout
+#: definitions instead of re-declaring format strings that could drift.
+HEADER_STRUCT = _HEADER
+RECORD_STRUCT = _RECORD
 
 _U16 = 0xFFFF
 _U32 = 0xFFFFFFFF

@@ -63,6 +63,12 @@ class ServeConfig:
     #: Stop (with a drain) after this long with no traffic and an empty
     #: queue — how examples and CI runs bound an otherwise-forever loop.
     idle_exit_s: Optional[float] = None
+    #: Drive ingest through the vectorized zero-copy plane
+    #: (``repro.fastpath``): columnar datagram decode at the router and
+    #: the cross-batch EIA verdict memo on the commit detector.
+    #: Decision-equivalent either way; off is the benchmarking/escape
+    #: hatch.
+    fastpath: bool = True
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65_535:

@@ -234,7 +234,15 @@ class CommitWorker:
                 extra={"path": path, "reason": str(error)},
             )
             return
+        fastpath = self.detector.fastpath
         self.detector = detector
+        if fastpath is not None:
+            # Carry the verdict memo object (and its counters) over to
+            # the reloaded detector, but drop its contents explicitly:
+            # epoch counters are per-BasicInFilter-instance and could
+            # collide across the swap.
+            fastpath.invalidate()
+            detector.fastpath = fastpath
         self._reloads += 1
         self._m_reloads.inc()
         log.info("detector hot-reloaded", extra={"path": path})

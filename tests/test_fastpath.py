@@ -1,0 +1,465 @@
+"""Equivalence and invalidation properties of the fastpath data plane.
+
+The fastpath's entire contract is *observable equivalence*: bit-packed
+popcount distances equal the per-bit reference, columnar datagram
+decode equals the record-at-a-time decoders byte for byte (including
+error messages on malformed input), the cross-batch verdict memo
+changes no decision even across learning-rule absorptions, and a
+checkpoint is byte-identical whether the memo is hot, cold, or absent.
+Every test here pins one of those equalities.
+"""
+
+import json
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EIAConfig, PipelineConfig
+from repro.core.encoding import hamming
+from repro.core.persistence import render_state
+from repro.fastpath import (
+    BlockBitset,
+    BlockOwnerIndex,
+    FastPath,
+    PackedCodes,
+    VerdictLRU,
+    hamming_per_bit,
+)
+from repro.flowgen import Dagflow, generate_attack, synthesize_trace
+from repro.netflow.v1 import decode_v1_datagram, encode_v1_datagram
+from repro.netflow.v5 import decode_datagram, encode_datagram
+from repro.fastpath.columnar import decode_v1_columnar, decode_v5_columnar
+from repro.obs import MetricsRegistry
+from repro.serve.listener import DatagramRouter
+from repro.serve.queue import IngestQueue
+from repro.util import SeededRng
+from repro.util.errors import ConfigError, NetFlowDecodeError
+
+from tests.conftest import make_detector
+from tests.test_netflow_fuzz import flow_records
+
+_SEED = 60601
+
+_DIMENSION = 720
+
+codes = st.integers(min_value=0, max_value=2**_DIMENSION - 1)
+small_codes = st.integers(min_value=0, max_value=2**48 - 1)
+
+
+# -- bit-packed distances -----------------------------------------------------
+
+
+class TestPackedCodes:
+    @given(small_codes, small_codes)
+    @settings(max_examples=150)
+    def test_popcount_equals_per_bit_reference(self, a, b):
+        """The fastpath Hamming (XOR + popcount) == naive per-bit NNS
+        distance, on a width where the bit walk is affordable."""
+        packed = PackedCodes([a], 48)
+        assert packed.distances(b) == [hamming_per_bit(a, b, 48)]
+        assert packed.distances(b) == [hamming(a, b)]
+
+    @given(st.lists(codes, min_size=1, max_size=8), codes)
+    @settings(max_examples=60)
+    def test_full_dimension_sweep_matches_hamming(self, corpus, query):
+        packed = PackedCodes(corpus, _DIMENSION)
+        assert packed.distances(query) == [hamming(c, query) for c in corpus]
+        for i, code in enumerate(corpus):
+            assert packed.code_at(i) == code
+
+    @given(st.lists(codes, min_size=1, max_size=12), codes)
+    @settings(max_examples=60)
+    def test_argmin_ties_to_lowest_index(self, corpus, query):
+        index, distance = PackedCodes(corpus, _DIMENSION).argmin(query)
+        expected = min(
+            range(len(corpus)), key=lambda i: (hamming(corpus[i], query), i)
+        )
+        assert (index, distance) == (expected, hamming(corpus[expected], query))
+
+    def test_oversized_code_rejected(self):
+        with pytest.raises(ConfigError):
+            PackedCodes([1 << 8], 8)
+
+    def test_empty_argmin_rejected(self):
+        with pytest.raises(ConfigError):
+            PackedCodes([], 8).argmin(0)
+
+
+class TestBlockBitset:
+    @given(st.sets(st.integers(min_value=0, max_value=4096), max_size=64),
+           st.sets(st.integers(min_value=0, max_value=4096), max_size=64))
+    @settings(max_examples=80)
+    def test_set_algebra_matches_python_sets(self, left, right):
+        universe = BlockBitset.build_universe(left | right)
+        a = BlockBitset.from_indices(universe, left)
+        b = BlockBitset.from_indices(universe, right)
+        assert set(a.indices()) == left and len(a) == len(left)
+        assert set(a.union(b).indices()) == (left | right)
+        assert set(a.intersection(b).indices()) == (left & right)
+        for index in left | right:
+            assert (index in a) == (index in left)
+
+    def test_owner_index_is_flat_longest_match(self):
+        owners = {0b101: 7, 0b110: 9}
+        index = BlockOwnerIndex(3, owners)
+        assert index.owner_of(0b101 << 29) == 7
+        assert index.owner_of((0b110 << 29) | 12345) == 9
+        assert index.owner_of(0) is None
+        assert index.peers() == [7, 9]
+        assert index.peer_blocks(7).indices() == [0b101]
+
+
+# -- the verdict memo ---------------------------------------------------------
+
+
+class TestVerdictLRU:
+    def test_bounded_with_lru_eviction(self):
+        lru: VerdictLRU[int, str] = VerdictLRU(2)
+        lru.put(1, "a")
+        lru.put(2, "b")
+        assert lru.get(1) == "a"  # refreshes 1; 2 is now oldest
+        lru.put(3, "c")
+        assert lru.get(2) is None
+        assert lru.get(1) == "a" and lru.get(3) == "c"
+        assert lru.counters() == (3, 1, 1, 0)
+
+    def test_invalidate_all_counts(self):
+        lru: VerdictLRU[int, int] = VerdictLRU(8)
+        for i in range(5):
+            lru.put(i, i)
+        assert lru.invalidate_all() == 5
+        assert len(lru) == 0 and lru.get(0) is None
+
+
+class TestFastPathEpochs:
+    def test_epoch_crossing_drops_the_memo(self):
+        plane: FastPath[int, str] = FastPath(16, registry=MetricsRegistry())
+        assert plane.lookup(1, epoch=0) is None
+        plane.store(1, "v0", epoch=0)
+        assert plane.lookup(1, epoch=0) == "v0"
+        # The authoritative state mutated: epoch 1 must never see "v0".
+        assert plane.lookup(1, epoch=1) is None
+        assert plane.lookup(1, epoch=1) is None
+
+    def test_stale_store_is_dropped(self):
+        plane: FastPath[int, str] = FastPath(16, registry=MetricsRegistry())
+        plane.lookup(1, epoch=5)
+        plane.store(1, "stale", epoch=4)
+        assert plane.lookup(1, epoch=5) is None
+
+
+# -- columnar decode == record-at-a-time decode -------------------------------
+
+
+class TestColumnarDecodeEquivalence:
+    @given(st.lists(flow_records(), min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_v5_columnar_equals_serial(self, records):
+        data = encode_datagram(
+            records, sys_uptime=1, unix_secs=2, flow_sequence=3
+        )
+        serial_header, serial_records = decode_datagram(data)
+        header, batch = decode_v5_columnar(data)
+        assert header == serial_header
+        assert batch.records() == serial_records
+        assert len(batch) == len(serial_records)
+
+    @given(st.lists(flow_records(), min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_v1_columnar_equals_serial(self, records):
+        data = encode_v1_datagram(records, sys_uptime=1, unix_secs=2)
+        serial_uptime, serial_records = decode_v1_datagram(data)
+        uptime, batch = decode_v1_columnar(data)
+        assert uptime == serial_uptime
+        assert batch.records() == serial_records
+
+    @given(st.lists(flow_records(), min_size=1, max_size=5), st.data())
+    @settings(max_examples=60)
+    def test_v5_truncation_errors_are_identical(self, records, data):
+        encoded = encode_datagram(
+            records, sys_uptime=1, unix_secs=2, flow_sequence=3
+        )
+        cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+        with pytest.raises(NetFlowDecodeError) as serial:
+            decode_datagram(encoded[:cut])
+        with pytest.raises(NetFlowDecodeError) as columnar:
+            decode_v5_columnar(encoded[:cut])
+        assert str(columnar.value) == str(serial.value)
+
+    @given(st.lists(flow_records(), min_size=1, max_size=5), st.data())
+    @settings(max_examples=60)
+    def test_v1_truncation_errors_are_identical(self, records, data):
+        encoded = encode_v1_datagram(records, sys_uptime=1, unix_secs=2)
+        cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+        with pytest.raises(NetFlowDecodeError) as serial:
+            decode_v1_datagram(encoded[:cut])
+        with pytest.raises(NetFlowDecodeError) as columnar:
+            decode_v1_columnar(encoded[:cut])
+        assert str(columnar.value) == str(serial.value)
+
+    @given(st.binary(max_size=24 + 4 * 48))
+    @settings(max_examples=200)
+    def test_v5_garbage_fate_is_identical(self, data):
+        """Arbitrary bytes: both decoders agree on decode-vs-raise and on
+        the exact outcome either way."""
+        try:
+            serial = decode_datagram(data)
+        except NetFlowDecodeError as error:
+            with pytest.raises(NetFlowDecodeError) as columnar:
+                decode_v5_columnar(data)
+            assert str(columnar.value) == str(error)
+            return
+        header, batch = decode_v5_columnar(data)
+        assert (header, batch.records()) == serial
+
+    @given(st.binary(max_size=16 + 4 * 48))
+    @settings(max_examples=200)
+    def test_v1_garbage_fate_is_identical(self, data):
+        try:
+            serial = decode_v1_datagram(data)
+        except NetFlowDecodeError as error:
+            with pytest.raises(NetFlowDecodeError) as columnar:
+                decode_v1_columnar(data)
+            assert str(columnar.value) == str(error)
+            return
+        uptime, batch = decode_v1_columnar(data)
+        assert (uptime, batch.records()) == serial
+
+    @given(st.lists(flow_records(), min_size=1, max_size=4), st.data())
+    @settings(max_examples=100)
+    def test_v5_corruption_fate_is_identical(self, records, data):
+        encoded = bytearray(
+            encode_datagram(records, sys_uptime=1, unix_secs=2, flow_sequence=3)
+        )
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(encoded) - 1)
+        )
+        encoded[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+        blob = bytes(encoded)
+        try:
+            serial = decode_datagram(blob)
+        except NetFlowDecodeError as error:
+            with pytest.raises(NetFlowDecodeError) as columnar:
+                decode_v5_columnar(blob)
+            assert str(columnar.value) == str(error)
+            return
+        header, batch = decode_v5_columnar(blob)
+        assert (header, batch.records()) == serial
+
+
+# -- verdict equivalence and checkpoint identity ------------------------------
+
+#: State keys holding real wall-clock measurements — legitimately
+#: different between two runs even when every decision is identical.
+_WALL_CLOCK_KEYS = {"latency_total_s", "latency_max_s", "latency_samples"}
+
+
+def _scrub_wall_clock(document):
+    if isinstance(document, dict):
+        return {
+            key: _scrub_wall_clock(value)
+            for key, value in document.items()
+            if key not in _WALL_CLOCK_KEYS
+        }
+    if isinstance(document, list):
+        return [_scrub_wall_clock(item) for item in document]
+    return document
+
+
+def _build_detector(eia_plan, target_prefix):
+    config = PipelineConfig(eia=EIAConfig(learning_threshold=3))
+    return make_detector(
+        eia_plan, target_prefix, seed=_SEED, config=config, n_train=700
+    )
+
+
+@pytest.fixture(scope="module")
+def fastpath_trace(eia_plan, target_prefix) -> List:
+    """Legal + absorbable route-churn + attack traffic (small edition of
+    the engine-equivalence mix: repeats within and across batches so the
+    memo genuinely hits, absorptions force mid-stream invalidation)."""
+    rng = SeededRng(4170, "fastpath-trace")
+    records = []
+    legal = Dagflow(
+        "legal", target_prefix=target_prefix, udp_port=9000,
+        source_blocks=eia_plan[0], rng=rng.fork("legal"),
+    )
+    records += [
+        lr.record.with_key(input_if=0)
+        for lr in legal.replay(synthesize_trace(300, rng=rng.fork("t-legal")))
+    ]
+    moved = Dagflow(
+        "moved", target_prefix=target_prefix, udp_port=9001,
+        source_blocks=[eia_plan[1][0], eia_plan[2][0]], rng=rng.fork("moved"),
+    )
+    records += [
+        lr.record.with_key(input_if=0)
+        for lr in moved.replay(synthesize_trace(150, rng=rng.fork("t-moved")))
+    ]
+    foreign = [
+        block
+        for peer, blocks in eia_plan.items()
+        if peer != 2
+        for block in blocks
+    ]
+    attack = Dagflow(
+        "attack", target_prefix=target_prefix, udp_port=9002,
+        source_blocks=foreign, rng=rng.fork("attack"),
+    )
+    records += [
+        lr.record.with_key(input_if=2)
+        for lr in attack.replay(generate_attack("slammer", rng=rng.fork("a")))
+    ]
+    records.sort(key=lambda r: (r.first, r.key.src_addr, r.key.dst_addr))
+    return records
+
+
+@pytest.fixture(scope="module")
+def serial_run(eia_plan, target_prefix, fastpath_trace):
+    detector = _build_detector(eia_plan, target_prefix)
+    decisions = detector.process_all(fastpath_trace)
+    return detector, decisions
+
+
+def _signature(decision):
+    return (
+        decision.verdict,
+        decision.stage,
+        decision.eia,
+        decision.absorbed,
+        decision.protocol_class,
+    )
+
+
+class TestVerdictEquivalence:
+    def test_fastpath_batches_equal_serial_decisions(
+        self, eia_plan, target_prefix, fastpath_trace, serial_run
+    ):
+        serial_detector, serial_decisions = serial_run
+        # The trace must genuinely absorb, or the epoch-invalidation
+        # path goes untested and equivalence is vacuous.
+        assert serial_detector.stats.absorbed >= 2
+        detector = _build_detector(eia_plan, target_prefix)
+        detector.enable_fastpath()
+        decisions = []
+        for start in range(0, len(fastpath_trace), 97):
+            result = detector.process_batch(fastpath_trace[start:start + 97])
+            decisions.extend(result.decisions)
+        assert list(map(_signature, decisions)) == list(
+            map(_signature, serial_decisions)
+        )
+        ref, got = serial_detector.stats, detector.stats
+        assert (got.processed, got.legal, got.suspects, got.attacks,
+                got.absorbed) == (
+            ref.processed, ref.legal, ref.suspects, ref.attacks, ref.absorbed,
+        )
+        assert detector.fastpath is not None
+        stats = detector.fastpath.stats()
+        # The memo must actually carry verdicts across batch boundaries
+        # *and* have been dropped by the absorption epoch bumps.
+        assert stats["hits"] > 0
+        assert stats["invalidations"] > 0
+
+    def test_checkpoint_bytes_identical_hot_cold_and_absent(
+        self, eia_plan, target_prefix, fastpath_trace, serial_run
+    ):
+        """The memo is derived state: a checkpoint taken with a hot
+        cache and one taken right after a wholesale invalidation must be
+        the same bytes; modulo wall-clock latency measurements, both
+        also equal a detector that never had a fastpath at all."""
+        serial_detector, _ = serial_run
+        detector = _build_detector(eia_plan, target_prefix)
+        detector.enable_fastpath()
+        for start in range(0, len(fastpath_trace), 97):
+            detector.process_batch(fastpath_trace[start:start + 97])
+        assert detector.fastpath is not None
+        assert len(detector.fastpath.memo) > 0  # genuinely hot
+        hot = render_state(detector)
+        detector.fastpath.invalidate()
+        cold = render_state(detector)
+        assert hot == cold
+        never = render_state(serial_detector)
+        assert _scrub_wall_clock(json.loads(hot)) == _scrub_wall_clock(
+            json.loads(never)
+        )
+
+    def test_state_dict_has_no_fastpath_section(
+        self, eia_plan, target_prefix, fastpath_trace
+    ):
+        detector = _build_detector(eia_plan, target_prefix)
+        detector.enable_fastpath()
+        detector.process_batch(fastpath_trace[:100])
+        assert not any(
+            "fastpath" in key for key in detector.state_dict()
+        )
+
+    def test_load_state_invalidates_a_hot_memo(
+        self, eia_plan, target_prefix, fastpath_trace
+    ):
+        detector = _build_detector(eia_plan, target_prefix)
+        detector.enable_fastpath()
+        detector.process_batch(fastpath_trace[:200])
+        assert detector.fastpath is not None
+        assert len(detector.fastpath.memo) > 0
+        detector.load_state(detector.state_dict())
+        assert len(detector.fastpath.memo) == 0
+
+
+# -- NNS packed sweeps match the min() formulation ----------------------------
+
+
+class TestPackedNNS:
+    def test_nearest_exact_matches_min_formulation(self, trained_detector):
+        model = trained_detector.model
+        assert model is not None
+        probed = 0
+        for subcluster in model.subclusters.values():
+            structure = subcluster.structure
+            for flow in structure.flows[:20]:
+                query = flow.encoded ^ 0b1011  # near, not exactly on, a point
+                result = structure.nearest_exact(query)
+                expected = min(
+                    structure.flows,
+                    key=lambda f: (hamming(f.encoded, query), f.index),
+                )
+                assert result.flow == expected
+                assert result.distance == hamming(expected.encoded, query)
+                probed += 1
+        assert probed > 0
+
+
+# -- serve router parity ------------------------------------------------------
+
+
+class TestRouterColumnarParity:
+    def _route_all(self, fastpath, datagrams):
+        queue = IngestQueue(100_000, registry=MetricsRegistry())
+        router = DatagramRouter(
+            queue, registry=MetricsRegistry(), fastpath=fastpath
+        )
+        for data in datagrams:
+            router.route(data, source=7)
+        queued = queue.take_nowait(len(queue))
+        return router, queued
+
+    @given(st.lists(flow_records(), min_size=1, max_size=6), st.binary(max_size=80))
+    @settings(max_examples=40)
+    def test_fastpath_router_equals_serial_router(self, records, garbage):
+        v5 = encode_datagram(records, sys_uptime=1, unix_secs=2, flow_sequence=0)
+        v1 = encode_v1_datagram(records, sys_uptime=1, unix_secs=2)
+        datagrams = [v5, garbage, v1, v5[: len(v5) // 2]]
+        serial_router, serial_records = self._route_all(None, datagrams)
+        plane: FastPath = FastPath(64, registry=MetricsRegistry())
+        fast_router, fast_records = self._route_all(plane, datagrams)
+        assert [q.record for q in fast_records] == [
+            q.record for q in serial_records
+        ]
+        assert fast_router.stats == serial_router.stats
+        fast_c, serial_c = fast_router.collector.stats, serial_router.collector.stats
+        assert (fast_c.datagrams, fast_c.records, fast_c.decode_errors,
+                fast_c.duplicates) == (
+            serial_c.datagrams, serial_c.records, serial_c.decode_errors,
+            serial_c.duplicates,
+        )
