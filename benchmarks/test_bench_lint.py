@@ -1,0 +1,82 @@
+"""E16 — full-tree lint wall-clock: serial vs parallel vs incremental.
+
+PR 8 turned ``repro.analysis`` into a two-phase whole-program analyzer
+and gave the runner a parallel file phase (``jobs``) and a content-hash
+incremental cache (``cache_dir``).  Those are performance knobs only —
+all modes must produce identical sorted findings — so this bench pins
+both halves of the claim on the repository's own tree: equivalence
+always, and a >= 3x wall-clock win for a warm incremental lint over the
+cold serial baseline.
+
+The warm win does not depend on core count: a warm lint replays
+per-file findings from content-hash hits and the project phase from the
+graph fingerprint, parsing nothing.  Parallel numbers are reported but
+carry no floor — on a single-core runner the pool is pure overhead.
+
+Set ``INFILTER_BENCH_QUICK=1`` to skip the timing floor (CI smoke:
+checks mode equivalence, not the speedup).
+"""
+
+import os
+import shutil
+import time
+from pathlib import Path
+
+from _report import report, table
+
+from repro.analysis import run
+
+QUICK = os.environ.get("INFILTER_BENCH_QUICK", "") not in ("", "0")
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_LINT_PATHS = [str(_REPO_ROOT / "src"), str(_REPO_ROOT / "tests")]
+
+
+def _timed(**kwargs):
+    started = time.perf_counter()
+    findings = run(_LINT_PATHS, **kwargs)
+    return findings, time.perf_counter() - started
+
+
+def test_lint_modes_equivalent_and_incremental_fast(tmp_path):
+    cache_dir = tmp_path / "lint-cache"
+
+    serial, serial_s = _timed()
+    parallel, parallel_s = _timed(jobs=0)
+    cold, cold_s = _timed(cache_dir=cache_dir)
+    warm, warm_s = _timed(cache_dir=cache_dir)
+    warm_parallel, warm_parallel_s = _timed(cache_dir=cache_dir, jobs=0)
+
+    # The load-bearing equality: every mode yields the same findings in
+    # the same order (the tree is lint-clean, so that's [] == [] — but
+    # the assertion holds for any tree state).
+    assert serial == parallel == cold == warm == warm_parallel
+
+    speedup = serial_s / warm_s if warm_s > 0 else float("inf")
+    rows = [
+        ("serial (baseline)", f"{serial_s * 1000:.0f}", "1.00x"),
+        ("parallel --jobs 0", f"{parallel_s * 1000:.0f}",
+         f"{serial_s / parallel_s:.2f}x"),
+        ("incremental cold", f"{cold_s * 1000:.0f}",
+         f"{serial_s / cold_s:.2f}x"),
+        ("incremental warm", f"{warm_s * 1000:.0f}", f"{speedup:.2f}x"),
+        ("incremental warm + parallel", f"{warm_parallel_s * 1000:.0f}",
+         f"{serial_s / warm_parallel_s:.2f}x"),
+    ]
+    report(
+        "E16_lint_incremental",
+        [
+            f"full-tree lint of src+tests, findings identical in all modes"
+            f" ({len(serial)} findings)",
+            "",
+            *table(("mode", "wall ms", "vs serial"), rows),
+            "",
+            f"warm incremental speedup over cold serial: {speedup:.1f}x"
+            " (floor: 3x)",
+        ],
+    )
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    if not QUICK:
+        assert speedup >= 3.0, (
+            f"warm incremental lint only {speedup:.2f}x over serial"
+        )

@@ -1,0 +1,137 @@
+"""On-disk incremental cache for the lint runner.
+
+Layout under the cache directory (default ``.infilter-cache/``):
+
+* ``files/<key>.json`` — one record per linted file, keyed on the
+  file's reported path.  Each record stores the analysis-package
+  digest, the source content hash, the post-pragma findings, the
+  pragma table, and the serialized symbol table.  A record is a hit
+  only if both digests match, so editing any file under
+  ``repro/analysis/`` (new rule, changed heuristic) invalidates the
+  whole cache at once.
+* ``project/<fingerprint>.json`` — the project-rule findings for one
+  exact :meth:`~repro.analysis.graph.ProjectGraph.fingerprint`.  A warm
+  lint of an unchanged tree re-runs no project rule at all.
+
+Every failure mode — unreadable record, truncated JSON, wrong shape —
+degrades to a cache miss; the cache can never make a lint wrong, only
+slow.  Writes go through a temp file plus ``os.replace`` so a killed
+lint never leaves a torn record behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["LintCache", "analysis_digest", "content_hash"]
+
+_CACHE_VERSION = 1
+
+_digest_memo: Optional[str] = None
+
+
+def analysis_digest() -> str:
+    """Digest of the analysis package's own source files.
+
+    Keys every cache record, so changing any rule, heuristic, or the
+    runner itself invalidates all prior results.
+    """
+    global _digest_memo
+    if _digest_memo is None:
+        package_dir = Path(__file__).resolve().parent
+        hasher = hashlib.sha256()
+        hasher.update(str(_CACHE_VERSION).encode("ascii"))
+        for source in sorted(package_dir.glob("*.py")):
+            hasher.update(source.name.encode("utf-8"))
+            hasher.update(b"\0")
+            hasher.update(source.read_bytes())
+            hasher.update(b"\0")
+        _digest_memo = hasher.hexdigest()
+    return _digest_memo
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write_json(target: Path, payload: Dict[str, Any]) -> None:
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=str(target.parent),
+        prefix=target.name + ".",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(handle.name, target)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+
+
+class LintCache:
+    """Content-addressed store for per-file and project-rule results."""
+
+    def __init__(self, directory: Path) -> None:
+        self._files_dir = directory / "files"
+        self._project_dir = directory / "project"
+        self._digest = analysis_digest()
+
+    def _file_record_path(self, reported: str) -> Path:
+        key = hashlib.sha256(reported.encode("utf-8")).hexdigest()
+        return self._files_dir / f"{key}.json"
+
+    def load_file(
+        self, reported: str, source_hash: str
+    ) -> Optional[Dict[str, Any]]:
+        """Return the cached per-file entry, or ``None`` on any miss."""
+        record_path = self._file_record_path(reported)
+        try:
+            payload = json.loads(record_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("digest") != self._digest:
+            return None
+        if payload.get("content") != source_hash:
+            return None
+        entry = payload.get("entry")
+        return entry if isinstance(entry, dict) else None
+
+    def store_file(
+        self, reported: str, source_hash: str, entry: Dict[str, Any]
+    ) -> None:
+        _atomic_write_json(
+            self._file_record_path(reported),
+            {"digest": self._digest, "content": source_hash, "entry": entry},
+        )
+
+    def load_project(self, fingerprint: str) -> Optional[Any]:
+        record_path = self._project_dir / f"{fingerprint}.json"
+        try:
+            payload = json.loads(record_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("digest") != self._digest:
+            return None
+        return payload.get("findings")
+
+    def store_project(self, fingerprint: str, findings: Any) -> None:
+        _atomic_write_json(
+            self._project_dir / f"{fingerprint}.json",
+            {"digest": self._digest, "findings": findings},
+        )

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 rendering for ``infilter lint --format sarif``.
+
+One run, one tool (``infilter-lint``), one result per finding.  The
+output validates against the SARIF 2.1.0 schema and is shaped for the
+GitHub code-scanning upload action: relative forward-slash artifact
+URIs, ``level: error`` results, and a rule index so the UI can show
+each rule's summary.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = (
+    "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+
+def _relative_uri(path: str, base: Path) -> str:
+    candidate = Path(path)
+    try:
+        candidate = candidate.resolve()
+        return candidate.relative_to(base).as_posix()
+    except (OSError, ValueError):
+        return candidate.as_posix()
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Sequence[Tuple[str, str]],
+    *,
+    base_dir: Path | None = None,
+) -> Dict[str, Any]:
+    """Render findings as a SARIF 2.1.0 log object.
+
+    ``rules`` is the full ``(id, summary)`` catalogue (file and project
+    rules plus REP000), so every result's ``ruleId`` resolves to a rule
+    entry regardless of which rules fired.
+    """
+    base = (base_dir or Path.cwd()).resolve()
+    ordered = sorted(rules)
+    index = {rule_id: pos for pos, (rule_id, _) in enumerate(ordered)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.path, base),
+                        },
+                        "region": {"startLine": max(finding.line, 1)},
+                    }
+                }
+            ],
+        }
+        if finding.rule in index:
+            result["ruleIndex"] = index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "infilter-lint",
+                        "informationUri": (
+                            "https://github.com/infilter/infilter"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": summary},
+                            }
+                            for rule_id, summary in ordered
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

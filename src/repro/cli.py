@@ -754,16 +754,42 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
+    from pathlib import Path
 
-    from repro.analysis import ALL_RULES, run as run_lint
+    from repro.analysis import (
+        ALL_RULES,
+        PROJECT_RULES,
+        render_sarif,
+        run as run_lint,
+    )
 
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.id}  {rule.summary}")
+        for project_rule in PROJECT_RULES:
+            print(f"{project_rule.id}  {project_rule.summary}")
         return 0
-    findings = run_lint(args.paths, select=args.select, ignore=args.ignore)
+    cache_dir: Path | None = None
+    if args.cache_dir is not None:
+        cache_dir = Path(args.cache_dir)
+    elif args.cache:
+        cache_dir = Path(".infilter-cache")
+    findings = run_lint(
+        args.paths,
+        select=args.select,
+        ignore=args.ignore,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
     if args.format == "json":
         print(json.dumps([finding.to_dict() for finding in findings], indent=2))
+    elif args.format == "sarif":
+        catalogue = [(rule.id, rule.summary) for rule in ALL_RULES]
+        catalogue.extend((rule.id, rule.summary) for rule in PROJECT_RULES)
+        catalogue.append(
+            ("REP000", "Linter-internal: unreadable file or malformed pragma.")
+        )
+        print(json.dumps(render_sarif(findings, catalogue), indent=2))
     else:
         for finding in findings:
             print(finding.render())
@@ -1086,7 +1112,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src tests)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text"
+        "--format", choices=("text", "json", "sarif"), default="text"
     )
     lint.add_argument(
         "--select",
@@ -1099,6 +1125,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="RULE",
         help="drop findings from the listed rules (repeatable)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelise the per-file phase over N processes (0 = one per CPU)",
+    )
+    lint.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the incremental cache under .infilter-cache/",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="incremental cache directory (implies --cache)",
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"

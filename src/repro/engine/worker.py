@@ -175,8 +175,11 @@ _POOL_WORKERS: Dict[int, ShardWorker] = {}
 
 def _pool_initializer(template: DetectorTemplate) -> None:
     global _POOL_TEMPLATE
-    _POOL_TEMPLATE = template
-    _POOL_WORKERS.clear()
+    # Process-local by construction: each pool process runs its own copy
+    # of this module, so these globals are never shared across tasks of
+    # one interpreter, let alone an event loop.
+    _POOL_TEMPLATE = template  # repro: allow[REP013] -- per-process pool state
+    _POOL_WORKERS.clear()  # repro: allow[REP013] -- per-process pool state
 
 
 def _pool_speculate(
@@ -193,6 +196,7 @@ def _pool_speculate(
     if worker is None:
         if _POOL_TEMPLATE is None:
             raise EngineError("pool process used before its initializer ran")
+        # repro: allow[REP013] -- per-process worker cache, no cross-process sharing
         worker = _POOL_WORKERS[shard] = ShardWorker(shard, _POOL_TEMPLATE)
     worker.catch_up(deltas)
     result = worker.speculate(records)

@@ -1,0 +1,663 @@
+"""Tests for the whole-program phase of repro.analysis (PR 8).
+
+Covers the project graph, the cross-module rules REP011–REP015 (each
+with positive and negative fixtures), the SARIF renderer, the
+incremental cache, the parallel runner, and the discovery fixes
+(duplicate yields, root-relative test detection).
+
+Fixture trees emulate the real layout — ``repro/<package>/<module>.py``
+with ``__init__.py`` files so module names resolve by package climbing —
+and each test selects only the rule under scrutiny so the per-file rules
+stay out of the assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    KNOWN_RULE_IDS,
+    LAYERS,
+    PROJECT_RULE_IDS,
+    PROJECT_RULES,
+    RULE_IDS,
+    Finding,
+    iter_python_files,
+    render_sarif,
+    run,
+)
+from repro.analysis.graph import load_doc_catalogue
+from repro.cli import main
+from repro.util.errors import ConfigError
+
+#: assembled so this file's own lines never contain pragma markers.
+PRAGMA_BAD_RULE = "# repro" + ": allow[REP999]"
+
+
+def write_module(root: Path, dotted: str, source: str) -> Path:
+    """Create ``repro/pkg/mod.py`` (with ``__init__.py`` chain) under root."""
+    parts = dotted.split(".")
+    directory = root
+    for part in parts[:-1]:
+        directory = directory / part
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    path = directory / f"{parts[-1]}.py"
+    path.write_text(source)
+    return path
+
+
+def write_doc(root: Path, *metric_names: str) -> Path:
+    doc = root / "docs"
+    doc.mkdir(exist_ok=True)
+    rows = "\n".join(
+        f"| `{name}` | counter | things |" for name in metric_names
+    )
+    path = doc / "observability.md"
+    path.write_text(
+        "# Observability\n\n| Metric | Kind | Meaning |\n|---|---|---|\n"
+        + rows
+        + "\n"
+    )
+    return path
+
+
+def rules_of(findings) -> list:
+    return [finding.rule for finding in findings]
+
+
+class TestProjectRuleCatalogue:
+    def test_project_rule_ids_are_well_formed_and_disjoint(self):
+        ids = [rule.id for rule in PROJECT_RULES]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+        assert PROJECT_RULE_IDS == {
+            "REP011",
+            "REP012",
+            "REP013",
+            "REP014",
+            "REP015",
+        }
+        assert not (PROJECT_RULE_IDS & RULE_IDS)
+        assert KNOWN_RULE_IDS == RULE_IDS | PROJECT_RULE_IDS
+
+    def test_layer_table_covers_the_real_tree(self):
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        packages = {
+            child.name
+            for child in src.iterdir()
+            if child.is_dir() and (child / "__init__.py").exists()
+        }
+        assert packages <= set(LAYERS), (
+            "every repro package needs a declared layer rank"
+        )
+
+    def test_list_rules_includes_project_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in sorted(PROJECT_RULE_IDS):
+            assert rule_id in out
+
+
+class TestRep011LayerDag:
+    def test_flags_upward_import(self, tmp_path):
+        write_module(
+            tmp_path, "repro.core.thing", "import repro.serve.daemon\n"
+        )
+        write_module(tmp_path, "repro.serve.daemon", "X = 1\n")
+        findings = run([str(tmp_path)], select=["REP011"])
+        assert rules_of(findings) == ["REP011"]
+        assert "layer violation" in findings[0].message
+        assert "repro.serve" in findings[0].message
+
+    def test_downward_import_is_fine(self, tmp_path):
+        write_module(
+            tmp_path, "repro.core.thing", "import repro.netflow.record\n"
+        )
+        write_module(tmp_path, "repro.netflow.record", "X = 1\n")
+        assert run([str(tmp_path)], select=["REP011"]) == []
+
+    def test_names_the_offending_import_chain(self, tmp_path):
+        write_module(
+            tmp_path, "repro.core.thing", "import repro.fastpath.lru\n"
+        )
+        write_module(
+            tmp_path, "repro.fastpath.lru", "import repro.serve.daemon\n"
+        )
+        write_module(tmp_path, "repro.serve.daemon", "X = 1\n")
+        findings = run([str(tmp_path)], select=["REP011"])
+        chains = [f for f in findings if "import chain" in f.message]
+        assert len(chains) == 1
+        assert (
+            "repro.core.thing -> repro.fastpath.lru -> repro.serve.daemon"
+            in chains[0].message
+        )
+
+    def test_flags_package_missing_from_layer_table(self, tmp_path):
+        write_module(
+            tmp_path, "repro.mystery.thing", "import repro.util.errors\n"
+        )
+        write_module(tmp_path, "repro.util.errors", "X = 1\n")
+        findings = run([str(tmp_path)], select=["REP011"])
+        assert rules_of(findings) == ["REP011"]
+        assert "layer table" in findings[0].message
+
+    def test_test_modules_are_exempt(self, tmp_path):
+        write_module(
+            tmp_path, "repro.core.test_thing", "import repro.serve.daemon\n"
+        )
+        write_module(tmp_path, "repro.serve.daemon", "X = 1\n")
+        assert run([str(tmp_path)], select=["REP011"]) == []
+
+
+class TestRep012CacheContainment:
+    def test_flags_state_dict_on_fastpath_cache_class(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.fastpath.memo",
+            "class VerdictMemo:\n"
+            "    def state_dict(self):\n"
+            "        return {}\n",
+        )
+        findings = run([str(tmp_path)], select=["REP012"])
+        assert rules_of(findings) == ["REP012"]
+        assert "never serialized" in findings[0].message
+
+    def test_flags_state_dict_reaching_fastpath_attribute(self, tmp_path):
+        write_module(tmp_path, "repro.fastpath.memo", "class Memo:\n    pass\n")
+        write_module(
+            tmp_path,
+            "repro.core.pipe",
+            "from repro.fastpath.memo import Memo\n"
+            "\n"
+            "class Pipeline:\n"
+            "    def __init__(self):\n"
+            "        self.memo = Memo()\n"
+            "        self.count = 0\n"
+            "    def state_dict(self):\n"
+            "        return {'memo': self.memo, 'count': self.count}\n",
+        )
+        findings = run([str(tmp_path)], select=["REP012"])
+        assert rules_of(findings) == ["REP012"]
+        assert "Pipeline.state_dict" in findings[0].message
+        assert "memo" in findings[0].message
+
+    def test_flags_reach_through_helper_method(self, tmp_path):
+        write_module(tmp_path, "repro.fastpath.memo", "class Memo:\n    pass\n")
+        write_module(
+            tmp_path,
+            "repro.core.pipe",
+            "from repro.fastpath.memo import Memo\n"
+            "\n"
+            "class Pipeline:\n"
+            "    def __init__(self):\n"
+            "        self.memo = Memo()\n"
+            "    def _snapshot(self):\n"
+            "        return dict(self.memo)\n"
+            "    def state_dict(self):\n"
+            "        return self._snapshot()\n",
+        )
+        findings = run([str(tmp_path)], select=["REP012"])
+        assert rules_of(findings) == ["REP012"]
+
+    def test_excluded_cache_attribute_is_fine(self, tmp_path):
+        write_module(tmp_path, "repro.fastpath.memo", "class Memo:\n    pass\n")
+        write_module(
+            tmp_path,
+            "repro.core.pipe",
+            "from repro.fastpath.memo import Memo\n"
+            "\n"
+            "class Pipeline:\n"
+            "    def __init__(self):\n"
+            "        self.memo = Memo()\n"
+            "        self.count = 0\n"
+            "    def state_dict(self):\n"
+            "        return {'count': self.count}\n",
+        )
+        assert run([str(tmp_path)], select=["REP012"]) == []
+
+
+class TestRep013ConcurrencySafety:
+    def test_flags_async_mutation_of_module_global(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.serve.pump",
+            "QUEUE = []\n"
+            "\n"
+            "async def pump(item):\n"
+            "    QUEUE.append(item)\n",
+        )
+        findings = run([str(tmp_path)], select=["REP013"])
+        assert rules_of(findings) == ["REP013"]
+        assert "QUEUE" in findings[0].message
+        assert "async function" in findings[0].message
+
+    def test_flags_async_rebind_through_global(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.serve.pump",
+            "EPOCH = 0\n"
+            "\n"
+            "async def bump():\n"
+            "    global EPOCH\n"
+            "    EPOCH = EPOCH + 1\n",
+        )
+        findings = run([str(tmp_path)], select=["REP013"])
+        assert rules_of(findings) == ["REP013"]
+
+    def test_flags_shard_worker_write(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.engine.pool",
+            "CACHE = {}\n"
+            "\n"
+            "class ShardWorker:\n"
+            "    def warm(self, shard):\n"
+            "        CACHE[shard] = self\n",
+        )
+        findings = run([str(tmp_path)], select=["REP013"])
+        assert rules_of(findings) == ["REP013"]
+        assert "shard-worker" in findings[0].message
+
+    def test_flags_sync_lock_held_across_await(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.serve.commit",
+            "async def commit(lock, batch):\n"
+            "    with lock:\n"
+            "        await batch.flush()\n",
+        )
+        findings = run([str(tmp_path)], select=["REP013"])
+        assert rules_of(findings) == ["REP013"]
+        assert "across 'await'" in findings[0].message
+
+    def test_async_lock_and_local_state_are_fine(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.serve.commit",
+            "async def commit(lock, batch):\n"
+            "    staged = []\n"
+            "    async with lock:\n"
+            "        staged.append(batch)\n"
+            "        await batch.flush()\n",
+        )
+        assert run([str(tmp_path)], select=["REP013"]) == []
+
+    def test_sync_write_outside_worker_is_fine(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.core.registry",
+            "TABLE = {}\n"
+            "\n"
+            "def register(key, value):\n"
+            "    TABLE[key] = value\n",
+        )
+        assert run([str(tmp_path)], select=["REP013"]) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.serve.pump",
+            "QUEUE = []\n"
+            "\n"
+            "async def pump(item):\n"
+            "    QUEUE.append(item)  # repro: allow[REP013] -- single-task\n",
+        )
+        assert run([str(tmp_path)], select=["REP013"]) == []
+
+
+class TestRep014CheckpointContainment:
+    def test_flags_raw_os_replace_on_checkpoint_path(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.engine.snapshots",
+            "import os\n"
+            "\n"
+            "def save(tmp_name, checkpoint_path):\n"
+            "    os.replace(tmp_name, checkpoint_path)\n",
+        )
+        findings = run([str(tmp_path)], select=["REP014"])
+        assert rules_of(findings) == ["REP014"]
+        assert "atomic" in findings[0].message
+
+    def test_flags_raw_open_for_write(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.engine.snapshots",
+            "import json\n"
+            "\n"
+            "def save(state, checkpoint_path):\n"
+            "    with open(checkpoint_path, 'w') as handle:\n"
+            "        json.dump(state, handle)\n",
+        )
+        findings = run([str(tmp_path)], select=["REP014"])
+        assert rules_of(findings) == ["REP014"]
+
+    def test_atomic_helper_module_is_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.core.persistence",
+            "import os\n"
+            "\n"
+            "def write_atomic(tmp_name, checkpoint_path):\n"
+            "    os.replace(tmp_name, checkpoint_path)\n",
+        )
+        assert run([str(tmp_path)], select=["REP014"]) == []
+
+    def test_non_checkpoint_write_is_fine(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.engine.snapshots",
+            "def save(report_path, text):\n"
+            "    with open(report_path, 'w') as handle:\n"
+            "        handle.write(text)\n",
+        )
+        assert run([str(tmp_path)], select=["REP014"]) == []
+
+
+class TestRep015MetricDrift:
+    def test_flags_registered_metric_missing_from_doc(self, tmp_path):
+        write_doc(tmp_path, "infilter_serve_batches_total")
+        write_module(
+            tmp_path,
+            "repro.serve.metrics",
+            "def setup(registry):\n"
+            "    registry.counter('infilter_serve_drops_total', 'dropped')\n",
+        )
+        findings = run([str(tmp_path)], select=["REP015"])
+        assert rules_of(findings) == ["REP015"]
+        assert "infilter_serve_drops_total" in findings[0].message
+        assert "missing" in findings[0].message
+
+    def test_flags_documented_metric_never_registered(self, tmp_path):
+        doc = write_doc(
+            tmp_path, "infilter_serve_drops_total", "infilter_ghost_total"
+        )
+        write_module(
+            tmp_path,
+            "repro.obs.registry",
+            "def setup(registry):\n"
+            "    registry.counter('infilter_serve_drops_total', 'dropped')\n",
+        )
+        findings = run([str(tmp_path)], select=["REP015"])
+        assert rules_of(findings) == ["REP015"]
+        assert "infilter_ghost_total" in findings[0].message
+        assert findings[0].path == str(doc)
+
+    def test_matching_catalogue_is_clean(self, tmp_path):
+        write_doc(tmp_path, "infilter_serve_drops_total")
+        write_module(
+            tmp_path,
+            "repro.obs.registry",
+            "def setup(registry):\n"
+            "    registry.counter('infilter_serve_drops_total', 'dropped')\n",
+        )
+        assert run([str(tmp_path)], select=["REP015"]) == []
+
+    def test_doc_to_code_direction_needs_whole_tree(self, tmp_path):
+        # Without the registry module in the graph this is a partial
+        # lint; the doc's extra names must not be reported.
+        write_doc(tmp_path, "infilter_ghost_total")
+        write_module(
+            tmp_path,
+            "repro.serve.metrics",
+            "def setup(registry):\n"
+            "    registry.counter('infilter_ghost_total', 'documented')\n",
+        )
+        assert run([str(tmp_path)], select=["REP015"]) == []
+
+    def test_doc_catalogue_ignores_prose_mentions(self, tmp_path):
+        doc = tmp_path / "observability.md"
+        doc.write_text(
+            "Run grep '^infilter_prose_only_total' on the export.\n"
+            "\n"
+            "| `infilter_table_entry_total` | counter | meaning |\n"
+        )
+        catalogue = load_doc_catalogue(doc)
+        assert catalogue is not None
+        assert set(catalogue.names) == {"infilter_table_entry_total"}
+
+
+class TestDiscoveryFixes:
+    def test_overlapping_roots_lint_once(self, tmp_path):
+        write_module(
+            tmp_path,
+            "repro.serve.pump",
+            "QUEUE = []\n"
+            "\n"
+            "async def pump(item):\n"
+            "    QUEUE.append(item)\n",
+        )
+        once = run([str(tmp_path)], select=["REP013"])
+        twice = run(
+            [str(tmp_path), str(tmp_path / "repro")], select=["REP013"]
+        )
+        assert len(once) == 1
+        assert rules_of(twice) == rules_of(once)
+
+    def test_iter_python_files_deduplicates(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("X = 1\n")
+        files = list(iter_python_files([str(path), str(path), str(tmp_path)]))
+        assert files.count(path) <= 1
+        assert len([f for f in files if f.resolve() == path.resolve()]) == 1
+
+    def test_checkout_prefix_named_test_is_not_test_code(self, tmp_path):
+        # A checkout under .../test/... must not exempt library modules
+        # from library-only rules; only parts relative to the lint root
+        # (including the root's own basename) count.
+        checkout = tmp_path / "test" / "checkout"
+        checkout.mkdir(parents=True)
+        module = checkout / "mod.py"
+        module.write_text("def helper():\n    return 1\n")
+        findings = run([str(checkout)], select=["REP007"])
+        assert rules_of(findings) == ["REP007"]
+
+    def test_root_named_tests_is_test_code(self, tmp_path):
+        root = tmp_path / "tests"
+        root.mkdir()
+        module = root / "helpers.py"
+        module.write_text("def helper():\n    return 1\n")
+        assert run([str(root)], select=["REP007"]) == []
+
+
+class TestPragmaEdgeCases:
+    def test_allow_file_after_first_statement_applies(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "import time\n"
+            "\n"
+            "STARTED = time.time()\n"
+            "\n"
+            "# repro: allow-file[REP001] -- fixture exercising wall-clock\n"
+        )
+        assert run([str(module)], select=["REP001"]) == []
+
+    def test_pragma_on_continuation_line_does_not_suppress(self, tmp_path):
+        # Findings anchor to the statement's first line; a pragma buried
+        # on a continuation line is deliberately not honoured — it must
+        # sit on the first line or stand alone above the statement.
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "import time\n"
+            "\n"
+            "STARTED = time.time(\n"
+            ")  # repro: allow[REP001] -- wrong line\n"
+        )
+        findings = run([str(module)], select=["REP001"])
+        assert rules_of(findings) == ["REP001"]
+
+    def test_standalone_pragma_above_statement_suppresses(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "import time\n"
+            "\n"
+            "# repro: allow[REP001] -- stamp for humans only\n"
+            "STARTED = time.time()\n"
+        )
+        assert run([str(module)], select=["REP001"]) == []
+
+    def test_select_excludes_rep000_pragma_errors(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(f"X = 1  {PRAGMA_BAD_RULE}\n")
+        assert run([str(module)], select=["REP001"]) == []
+        with_rep000 = run([str(module)], select=["REP000"])
+        assert rules_of(with_rep000) == ["REP000"]
+
+    def test_ignore_rep000_drops_pragma_errors(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(f"__all__: list = []  {PRAGMA_BAD_RULE}\n")
+        assert run([str(module)], ignore=["REP000"]) == []
+
+    def test_select_normalises_case_and_whitespace(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("import time\n\nSTARTED = time.time()\n")
+        findings = run([str(module)], select=["  rep001 "])
+        assert rules_of(findings) == ["REP001"]
+
+    def test_select_unknown_rule_raises_with_catalogue(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("X = 1\n")
+        with pytest.raises(ConfigError) as excinfo:
+            run([str(module)], select=[" rep999 , REP001"])
+        assert "REP999" in str(excinfo.value)
+
+    def test_select_accepts_project_rule_ids(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("X = 1\n")
+        assert run([str(module)], select=["REP013"]) == []
+
+
+class TestSarifOutput:
+    def test_render_sarif_shape(self, tmp_path):
+        findings = [
+            Finding("REP001", str(tmp_path / "mod.py"), 3, "wall clock"),
+        ]
+        document = render_sarif(
+            findings, [("REP001", "No wall-clock reads.")], base_dir=tmp_path
+        )
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-2.1.0.json")
+        (sarif_run,) = document["runs"]
+        (rule,) = sarif_run["tool"]["driver"]["rules"]
+        assert rule["id"] == "REP001"
+        (result,) = sarif_run["results"]
+        assert result["ruleId"] == "REP001"
+        assert result["ruleIndex"] == 0
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "mod.py"
+        assert location["region"]["startLine"] == 3
+
+    def test_cli_sarif_output_is_valid_json(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text("import time\n\nSTARTED = time.time()\n")
+        code = main(["lint", str(module), "--format", "sarif"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        results = document["runs"][0]["results"]
+        assert any(result["ruleId"] == "REP001" for result in results)
+        rule_ids = {
+            rule["id"] for rule in document["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert KNOWN_RULE_IDS | {"REP000"} <= rule_ids
+
+    def test_clean_tree_yields_empty_results(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text("__all__: list = []\n")
+        code = main(["lint", str(module), "--format", "sarif"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["results"] == []
+
+
+def fixture_tree(tmp_path: Path) -> Path:
+    """A small tree with one finding of each phase for mode-equivalence."""
+    write_module(
+        tmp_path,
+        "repro.serve.pump",
+        "import time\n"
+        "\n"
+        "QUEUE = []\n"
+        "STARTED = time.time()\n"
+        "\n"
+        "async def pump(item):\n"
+        "    QUEUE.append(item)\n",
+    )
+    write_module(tmp_path, "repro.netflow.record", "X = 1\n")
+    return tmp_path
+
+
+class TestIncrementalAndParallel:
+    def test_all_modes_produce_identical_findings(self, tmp_path):
+        root = fixture_tree(tmp_path)
+        cache_dir = tmp_path / "cachedir"
+        serial = run([str(root)], select=["REP001", "REP013"])
+        parallel = run([str(root)], select=["REP001", "REP013"], jobs=2)
+        cold = run(
+            [str(root)], select=["REP001", "REP013"], cache_dir=cache_dir
+        )
+        warm = run(
+            [str(root)], select=["REP001", "REP013"], cache_dir=cache_dir
+        )
+        assert serial == parallel == cold == warm
+        assert len(serial) == 2
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        root = fixture_tree(tmp_path)
+        cache_dir = tmp_path / "cachedir"
+        before = run([str(root)], cache_dir=cache_dir)
+        target = root / "repro" / "serve" / "pump.py"
+        target.write_text(
+            target.read_text().replace("time.time()", "time.monotonic()")
+        )
+        after = run([str(root)], cache_dir=cache_dir)
+        assert [f.rule for f in before if f.rule == "REP001"] == ["REP001"]
+        assert all(f.rule != "REP001" for f in after)
+        assert run([str(root)]) == after
+
+    def test_pragma_added_later_filters_cached_project_finding(self, tmp_path):
+        # Adding a pragma comment changes the file's hash but not its
+        # symbols, so the project phase replays from cache — the pragma
+        # must still filter the cached finding at assembly time.
+        root = fixture_tree(tmp_path)
+        cache_dir = tmp_path / "cachedir"
+        before = run([str(root)], select=["REP013"], cache_dir=cache_dir)
+        assert rules_of(before) == ["REP013"]
+        target = root / "repro" / "serve" / "pump.py"
+        target.write_text(
+            target.read_text().replace(
+                "QUEUE.append(item)",
+                "QUEUE.append(item)  # repro: allow[REP013] -- one task",
+            )
+        )
+        after = run([str(root)], select=["REP013"], cache_dir=cache_dir)
+        assert after == []
+
+    def test_corrupt_cache_record_degrades_to_miss(self, tmp_path):
+        root = fixture_tree(tmp_path)
+        cache_dir = tmp_path / "cachedir"
+        expected = run([str(root)], cache_dir=cache_dir)
+        for record in (cache_dir / "files").glob("*.json"):
+            record.write_text("{not json")
+        for record in (cache_dir / "project").glob("*.json"):
+            record.write_text("[truncated")
+        assert run([str(root)], cache_dir=cache_dir) == expected
+
+    def test_cache_directory_is_never_linted(self, tmp_path):
+        root = fixture_tree(tmp_path)
+        cache_dir = root / ".infilter-cache"
+        first = run([str(root)], cache_dir=cache_dir)
+        # a second run must not descend into .infilter-cache/ even
+        # though it now exists inside the lint root.
+        assert run([str(root)], cache_dir=cache_dir) == first
+
+    def test_jobs_zero_means_cpu_count(self, tmp_path):
+        root = fixture_tree(tmp_path)
+        assert run([str(root)], jobs=0) == run([str(root)])
