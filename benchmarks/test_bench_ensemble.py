@@ -1,0 +1,207 @@
+"""E17 — the detector ensemble vs the InFilter-only baseline.
+
+One trained detector pair, one labelled trace.  The trace mixes legal
+peer-0 traffic (plausible per-source TTLs) with the full stealthy attack
+suite replayed through a spoofing Dagflow at the wrong ingress, with both
+variation knobs on: every attack flow carries an implausible TTL and a
+quarter of them use martian (bogon) source addresses.
+
+Measured per pipeline:
+
+* **throughput** — ``process_all`` flows/sec, so the ensemble's extra
+  per-flow work (two auxiliary observes plus the vote) is priced against
+  the InFilter-only chain on the identical stream;
+* **detection rate** — fraction of attack-labelled flows flagged;
+* **false positives** — legal flows flagged (both pipelines).
+
+Equivalence-style checks run unconditionally: under the ``any`` policy
+the ensemble can only promote, so its flagged set must be a superset of
+the baseline's, and the legal stream must produce identical false
+positives (the auxiliary detectors abstain or clear on trained traffic).
+The acceptance floors — ensemble throughput at least **0.25x** the
+baseline's and a detection-rate uplift on the varied attacks — only
+apply to full runs.
+
+Set ``INFILTER_BENCH_QUICK=1`` to run a reduced trace (CI smoke: checks
+the supersets and uplift direction, not the floors).
+"""
+
+import os
+import time
+
+from _report import report, table
+
+from repro.core import EIAConfig, EnhancedInFilter, PipelineConfig
+from repro.flowgen import (
+    Dagflow,
+    STEALTHY_ATTACKS,
+    SubBlockSpace,
+    eia_allocation,
+    generate_attack,
+    synthesize_trace,
+)
+from repro.util import Prefix, SeededRng
+
+QUICK = os.environ.get("INFILTER_BENCH_QUICK", "") not in ("", "0")
+
+#: Legal flows in the probe stream; the attack suite adds its own.  Big
+#: enough that per-flow pipeline cost dominates the full-run timings.
+_LEGAL_FLOWS = 1_000 if QUICK else 12_000
+#: Attack-suite replays appended to the legal stream.
+_ATTACK_ROUNDS = 1 if QUICK else 8
+_SEED = 20170
+_N_TRAIN = 1_500
+#: Fraction of attack flows rewritten to martian (bogon) sources.
+_MARTIAN_FRACTION = 0.25
+
+
+def _train(detector, plan, target, rng):
+    for peer, blocks in plan.items():
+        detector.preload_eia(peer, blocks)
+    trainer = Dagflow(
+        "trainer",
+        target_prefix=target,
+        udp_port=9000,
+        source_blocks=plan[0],
+        rng=rng.fork("df"),
+        emit_ttl=True,
+    )
+    trace = synthesize_trace(_N_TRAIN, rng=rng.fork("trace"))
+    detector.train(
+        [lr.record.with_key(input_if=0) for lr in trainer.replay(trace)]
+    )
+    return detector
+
+
+def _build_pair(plan, target):
+    """Identically trained InFilter-only and three-detector pipelines."""
+    baseline = EnhancedInFilter(
+        PipelineConfig(eia=EIAConfig()),
+        rng=SeededRng(_SEED, "bench").fork("det"),
+    )
+    ensemble = EnhancedInFilter(
+        PipelineConfig(
+            eia=EIAConfig(),
+            detectors=("infilter", "ttl_profile", "bogon"),
+            ensemble_policy="any",
+        ),
+        rng=SeededRng(_SEED, "bench").fork("det"),
+    )
+    # The same rng seed path per pipeline keeps their training streams —
+    # and therefore their learned state — byte-for-byte identical.
+    _train(baseline, plan, target, SeededRng(_SEED, "bench-train"))
+    _train(ensemble, plan, target, SeededRng(_SEED, "bench-train"))
+    return baseline, ensemble
+
+
+def _labelled_trace(plan, target):
+    """(record, is_attack) pairs: legal stream plus the varied suite."""
+    rng = SeededRng(_SEED, "bench-probe")
+    legal = Dagflow(
+        "legal",
+        target_prefix=target,
+        udp_port=9000,
+        source_blocks=plan[0],
+        rng=rng.fork("legal"),
+        emit_ttl=True,
+    )
+    labelled = [
+        (lr.record.with_key(input_if=0), False)
+        for lr in legal.replay(
+            synthesize_trace(_LEGAL_FLOWS, rng=rng.fork("t"))
+        )
+    ]
+    foreign = [
+        block for peer, blocks in plan.items() if peer != 2
+        for block in blocks
+    ]
+    spoofer = Dagflow(
+        "spoof",
+        target_prefix=target,
+        udp_port=9001,
+        source_blocks=foreign,
+        rng=rng.fork("spoof"),
+        emit_ttl=True,
+    )
+    for round_no in range(_ATTACK_ROUNDS):
+        for name in STEALTHY_ATTACKS:
+            attack = generate_attack(
+                name,
+                rng=rng.fork(f"{name}-{round_no}"),
+                implausible_ttl=True,
+                martian_fraction=_MARTIAN_FRACTION,
+            )
+            labelled += [
+                (lr.record.with_key(input_if=2), True)
+                for lr in spoofer.replay(attack)
+            ]
+    return labelled
+
+
+def _score(detector, labelled):
+    """Run the stream; return (elapsed_s, flagged indices, fp, hits)."""
+    records = [record for record, _ in labelled]
+    start = time.perf_counter()
+    decisions = detector.process_all(records)
+    elapsed = time.perf_counter() - start
+    flagged = {
+        i for i, decision in enumerate(decisions) if decision.is_attack
+    }
+    false_pos = sum(
+        1 for i in flagged if not labelled[i][1]
+    )
+    hits = len(flagged) - false_pos
+    return elapsed, flagged, false_pos, hits
+
+
+def test_e17_ensemble_vs_infilter_only():
+    space = SubBlockSpace()
+    plan = eia_allocation(space)
+    target = Prefix.parse("198.18.0.0/16")
+    baseline, ensemble = _build_pair(plan, target)
+    labelled = _labelled_trace(plan, target)
+    n = len(labelled)
+    n_attack = sum(1 for _, is_attack in labelled if is_attack)
+    n_legal = n - n_attack
+
+    base_s, base_flagged, base_fp, base_hits = _score(baseline, labelled)
+    ens_s, ens_flagged, ens_fp, ens_hits = _score(ensemble, labelled)
+
+    # Under the "any" policy the ensemble can only promote verdicts the
+    # chain cleared, never suppress chain hits.
+    assert base_flagged <= ens_flagged
+    # Legal peer-0 traffic matches the training profile, so the
+    # auxiliary detectors must not add false positives.
+    assert ens_fp == base_fp
+    assert ens_hits >= base_hits
+
+    base_rps = n / base_s if base_s else 0.0
+    ens_rps = n / ens_s if ens_s else 0.0
+    base_det = base_hits / n_attack if n_attack else 0.0
+    ens_det = ens_hits / n_attack if n_attack else 0.0
+    overhead = ens_rps / base_rps if base_rps else 0.0
+    report(
+        "E17_ensemble",
+        table(
+            ["pipeline", "flows", "flows/sec", "detection", "false pos"],
+            [
+                ["infilter only", n, f"{base_rps:,.0f}",
+                 f"{base_det:.1%} ({base_hits}/{n_attack})",
+                 f"{base_fp}/{n_legal}"],
+                ["ensemble (any)", n, f"{ens_rps:,.0f}",
+                 f"{ens_det:.1%} ({ens_hits}/{n_attack})",
+                 f"{ens_fp}/{n_legal}"],
+                ["relative", "", f"{overhead:.2f}x",
+                 f"+{ens_det - base_det:.1%}", ""],
+            ],
+        ),
+    )
+    if not QUICK:
+        assert overhead >= 0.25, (
+            f"ensemble throughput {overhead:.2f}x of the baseline is below"
+            " the 0.25x floor"
+        )
+        assert ens_det >= base_det + 0.005, (
+            f"ensemble detection {ens_det:.1%} shows no uplift over the"
+            f" baseline's {base_det:.1%} on TTL/martian-varied attacks"
+        )

@@ -12,7 +12,10 @@
   cross-batch verdict memo for apples-to-apples baselines);
   ``--checkpoint-every N`` writes periodic atomic checkpoints to the
   ``--save-state`` path and ``--load-state … --resume`` continues a
-  killed run from its checkpoint cursor;
+  killed run from its checkpoint cursor; ``--detectors`` /
+  ``--ensemble-policy`` compose a multi-detector ensemble (TTL
+  profiles, bogon filtering) around the InFilter chain — both flags
+  are shared with ``serve``;
 * ``infilter serve``      — run the live serving daemon: an asyncio UDP
   listener for real NetFlow v5/v1 export datagrams, bounded-queue
   backpressure with a load-shedding policy, micro-batched commits,
@@ -41,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import dataclasses
 import sys
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -48,7 +52,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 if TYPE_CHECKING:
     from repro.serve import ServeDaemon, ServeReport
 
-from repro.core import EnhancedInFilter, PipelineConfig, TracebackAnalyzer
+from repro.core import (
+    ENSEMBLE_POLICIES,
+    EnhancedInFilter,
+    PipelineConfig,
+    TracebackAnalyzer,
+    available_detectors,
+)
 from repro.flowgen import (
     ATTACK_NAMES,
     Dagflow,
@@ -93,6 +103,40 @@ def _save_flows(path: str, records: Sequence[FlowRecord], ascii_format: bool) ->
     if ascii_format:
         return export_ascii(path, records)
     return write_flow_file(path, records)
+
+
+def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
+    """Build the detect/serve pipeline config from the shared flags.
+
+    ``--detectors`` is a comma-separated composition in vote order;
+    ``--ensemble-policy`` picks the combiner.  Both default to the
+    paper's InFilter-only chain, and both are validated by
+    :class:`PipelineConfig` itself, so a typo'd detector name or policy
+    surfaces as a single ``error:`` line rather than a traceback.
+    """
+    base = (
+        PipelineConfig.basic() if args.basic
+        else PipelineConfig.enhanced_default()
+    )
+    if args.detectors is None and args.ensemble_policy is None:
+        return base
+    detectors = (
+        tuple(
+            name.strip()
+            for name in args.detectors.split(",")
+            if name.strip()
+        )
+        if args.detectors is not None
+        else base.detectors
+    )
+    policy = (
+        args.ensemble_policy
+        if args.ensemble_policy is not None
+        else base.ensemble_policy
+    )
+    return dataclasses.replace(
+        base, detectors=detectors, ensemble_policy=policy
+    )
 
 
 def _load_eia_plan(path: str) -> Dict[int, List[Prefix]]:
@@ -227,6 +271,12 @@ def _run_detect(args: argparse.Namespace) -> int:
                 "note: --load-state supplied; ignoring the EIA plan file",
                 file=sys.stderr,
             )
+        if args.detectors is not None or args.ensemble_policy is not None:
+            print(
+                "note: --load-state supplied; the detector composition"
+                " comes from the checkpoint",
+                file=sys.stderr,
+            )
         if args.resume:
             if saved_cursor is None:
                 print(
@@ -252,11 +302,7 @@ def _run_detect(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         plan = _load_eia_plan(args.eia_plan)
-        config = (
-            PipelineConfig.enhanced_default()
-            if not args.basic
-            else PipelineConfig.basic()
-        )
+        config = _pipeline_config(args)
         detector = EnhancedInFilter(config, rng=SeededRng(args.seed, "cli-detect"))
         for peer, prefixes in plan.items():
             detector.preload_eia(peer, prefixes)
@@ -419,6 +465,12 @@ def _run_serve(args: argparse.Namespace, registry: MetricsRegistry) -> int:
                 "note: --load-state supplied; ignoring the EIA plan file",
                 file=sys.stderr,
             )
+        if args.detectors is not None or args.ensemble_policy is not None:
+            print(
+                "note: --load-state supplied; the detector composition"
+                " comes from the checkpoint",
+                file=sys.stderr,
+            )
         if args.resume:
             if saved_cursor is None:
                 print(
@@ -436,11 +488,7 @@ def _run_serve(args: argparse.Namespace, registry: MetricsRegistry) -> int:
             )
             return 2
         plan = _load_eia_plan(args.eia_plan)
-        config = (
-            PipelineConfig.enhanced_default()
-            if not args.basic
-            else PipelineConfig.basic()
-        )
+        config = _pipeline_config(args)
         detector = EnhancedInFilter(config, rng=SeededRng(args.seed, "cli-serve"))
         for peer, prefixes in plan.items():
             detector.preload_eia(peer, prefixes)
@@ -853,6 +901,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("--training-file", default=None)
     detect.add_argument("--basic", action="store_true", help="BI configuration")
+    detect.add_argument(
+        "--detectors",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated detector composition, in vote order"
+        f" (available: {', '.join(available_detectors())};"
+        " default: infilter alone)",
+    )
+    detect.add_argument(
+        "--ensemble-policy",
+        default=None,
+        metavar="POLICY",
+        help="multi-detector vote combiner:"
+        f" {', '.join(ENSEMBLE_POLICIES)} (default: any)",
+    )
     detect.add_argument("--idmef", action="store_true", help="print IDMEF XML per alert")
     detect.add_argument(
         "--save-state", default=None, help="save detector state (JSON) after the run"
@@ -924,6 +987,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--training-file", default=None, help="flow file to train the EI model on"
     )
     serve.add_argument("--basic", action="store_true", help="BI configuration")
+    serve.add_argument(
+        "--detectors",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated detector composition, in vote order"
+        f" (available: {', '.join(available_detectors())};"
+        " default: infilter alone)",
+    )
+    serve.add_argument(
+        "--ensemble-policy",
+        default=None,
+        metavar="POLICY",
+        help="multi-detector vote combiner:"
+        f" {', '.join(ENSEMBLE_POLICIES)} (default: any)",
+    )
     serve.add_argument(
         "--load-state", default=None, help="restore detector state instead of training"
     )

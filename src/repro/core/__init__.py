@@ -35,12 +35,27 @@ from repro.core.config import (
     PipelineConfig,
     ScanConfig,
 )
+from repro.core.detector import (
+    AUX_DETECTOR_NAMES,
+    ENSEMBLE_POLICIES,
+    INFILTER_DETECTOR,
+    BogonDetector,
+    Detector,
+    DetectorVerdict,
+    Ensemble,
+    EnsembleDecision,
+    TTLProfileDetector,
+    available_detectors,
+    build_aux_detectors,
+    validate_composition,
+)
 from repro.core.eia import BasicInFilter, EIACheck, EIASet, EIAVerdict
 from repro.core.encoding import UnaryEncoder, hamming, parity_inner_product
 from repro.core.nns import NNSStructure, SearchResult, TrainingFlow
 from repro.core.pipeline import (
     Decision,
     EnhancedInFilter,
+    InFilterDetector,
     PipelineStats,
     Stage,
     Verdict,
@@ -79,6 +94,19 @@ __all__ = [
     "NNSConfig",
     "PipelineConfig",
     "ScanConfig",
+    "AUX_DETECTOR_NAMES",
+    "ENSEMBLE_POLICIES",
+    "INFILTER_DETECTOR",
+    "BogonDetector",
+    "Detector",
+    "DetectorVerdict",
+    "Ensemble",
+    "EnsembleDecision",
+    "InFilterDetector",
+    "TTLProfileDetector",
+    "available_detectors",
+    "build_aux_detectors",
+    "validate_composition",
     "BasicInFilter",
     "EIACheck",
     "EIASet",

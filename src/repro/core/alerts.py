@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import xml.etree.ElementTree as ET
 from dataclasses import asdict, dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.state import StateDict, stateful
 from repro.netflow.records import FlowRecord
@@ -33,6 +33,10 @@ class IdmefAlert:
     ``classification`` names the detection ("spoofed-source",
     "network_scan", "host_scan", "nns-anomaly"); ``stage`` records which
     pipeline stage fired; ``detect_time_ms`` is detector clock time.
+    ``attribution`` carries one ``detector:outcome`` token per composed
+    detector when the ensemble is active (empty for the default
+    InFilter-only composition, keeping its XML byte-identical to the
+    pre-ensemble format).
     """
 
     ident: str
@@ -46,6 +50,7 @@ class IdmefAlert:
     expected_peer: Optional[int]
     detect_time_ms: int
     severity: str = "medium"
+    attribution: Tuple[str, ...] = ()
 
     @classmethod
     def for_flow(
@@ -58,6 +63,7 @@ class IdmefAlert:
         expected_peer: Optional[int],
         detect_time_ms: int,
         severity: str = "medium",
+        attribution: Tuple[str, ...] = (),
     ) -> "IdmefAlert":
         """Build an alert describing one flagged flow."""
         return cls(
@@ -72,6 +78,7 @@ class IdmefAlert:
             expected_peer=expected_peer,
             detect_time_ms=detect_time_ms,
             severity=severity,
+            attribution=attribution,
         )
 
     def to_xml(self) -> str:
@@ -116,6 +123,13 @@ class IdmefAlert:
                 {"type": "integer", "meaning": "expected-peer"},
             )
             expected.text = str(self.expected_peer)
+        for token in self.attribution:
+            entry = ET.SubElement(
+                alert,
+                "AdditionalData",
+                {"type": "string", "meaning": "detector-attribution"},
+            )
+            entry.text = token
         return ET.tostring(message, encoding="unicode")
 
 
@@ -136,12 +150,15 @@ def parse_idmef(xml_text: str) -> IdmefAlert:
         raise ReproError("IDMEF alert missing required elements")
     observed_peer: Optional[int] = None
     expected_peer: Optional[int] = None
+    attribution: List[str] = []
     for extra in alert.findall("AdditionalData"):
         meaning = extra.get("meaning")
         if meaning == "observed-peer" and extra.text is not None:
             observed_peer = int(extra.text)
         elif meaning == "expected-peer" and extra.text is not None:
             expected_peer = int(extra.text)
+        elif meaning == "detector-attribution" and extra.text is not None:
+            attribution.append(extra.text)
     severity_el = alert.find("Assessment/Impact")
     return IdmefAlert(
         ident=alert.get("messageid", ""),
@@ -155,6 +172,7 @@ def parse_idmef(xml_text: str) -> IdmefAlert:
         expected_peer=expected_peer,
         detect_time_ms=int(alert.findtext("DetectTime") or 0),
         severity=(severity_el.get("severity", "medium") if severity_el is not None else "medium"),
+        attribution=tuple(attribution),
     )
 
 
@@ -213,4 +231,14 @@ class AlertSink:
         return {"alerts": [asdict(alert) for alert in self.alerts]}
 
     def load_state(self, state: StateDict) -> None:
-        self.alerts = [IdmefAlert(**entry) for entry in state["alerts"]]
+        # JSON round-trips the attribution tuple as a list; normalise it
+        # back so restored alerts compare equal to freshly emitted ones.
+        self.alerts = [
+            IdmefAlert(
+                **{
+                    key: tuple(value) if key == "attribution" else value
+                    for key, value in entry.items()
+                }
+            )
+            for entry in state["alerts"]
+        ]

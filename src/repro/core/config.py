@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.core.detector import INFILTER_DETECTOR, validate_composition
 from repro.util.errors import ConfigError
 
 __all__ = [
@@ -175,6 +176,12 @@ class PipelineConfig:
 
     ``enhanced=False`` is the paper's BI configuration (EIA analysis
     alone); ``enhanced=True`` adds Scan Analysis and NNS Search (EI).
+
+    ``detectors`` names the ensemble composition, in vote order; the
+    default — the InFilter chain alone — bypasses the ensemble combiner
+    entirely and reproduces the pre-ensemble pipeline decision for
+    decision and alert for alert.  ``ensemble_policy`` picks how a multi-detector
+    composition folds votes (see :data:`repro.core.detector.ENSEMBLE_POLICIES`).
     """
 
     eia: EIAConfig = EIAConfig()
@@ -184,6 +191,13 @@ class PipelineConfig:
     enhanced: bool = True
     #: Flag flows whose protocol class has no training data (conservative).
     flag_unmodelled_classes: bool = True
+    #: Ensemble composition; must include ``"infilter"``.
+    detectors: Tuple[str, ...] = (INFILTER_DETECTOR,)
+    #: Vote-folding policy for multi-detector compositions.
+    ensemble_policy: str = "any"
+
+    def __post_init__(self) -> None:
+        validate_composition(self.detectors, self.ensemble_policy)
 
     @classmethod
     def basic(cls) -> "PipelineConfig":

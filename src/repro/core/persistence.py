@@ -79,6 +79,8 @@ def _config_to_dict(config: PipelineConfig) -> Dict[str, Any]:
         "overload": asdict(config.overload),
         "enhanced": config.enhanced,
         "flag_unmodelled_classes": config.flag_unmodelled_classes,
+        "detectors": list(config.detectors),
+        "ensemble_policy": config.ensemble_policy,
     }
 
 
@@ -100,6 +102,10 @@ def _config_from_dict(data: Dict[str, Any]) -> PipelineConfig:
         overload=OverloadConfig(**data["overload"]),
         enhanced=data["enhanced"],
         flag_unmodelled_classes=data["flag_unmodelled_classes"],
+        # Checkpoints from before the ensemble refactor carry neither key
+        # and load as the (behaviour-identical) InFilter-only composition.
+        detectors=tuple(data.get("detectors", ("infilter",))),
+        ensemble_policy=data.get("ensemble_policy", "any"),
     )
 
 
@@ -307,6 +313,13 @@ def describe_state(source: Union[str, Path, TextIO]) -> Dict[str, Any]:
             },
             "pending_absorptions": len(components["eia"]["pending"]),
             "scan_buffer": len(components["scan"]["buffer"]),
+            "detectors": {
+                "composition": list(
+                    document["config"].get("detectors", ["infilter"])
+                ),
+                "policy": document["config"].get("ensemble_policy", "any"),
+                "sections": sorted(components.get("detectors", {})),
+            },
             "alerts": len(components["alerts"]["alerts"]),
             "alert_counter": int(components["alert_counter"]),
             "stats": {

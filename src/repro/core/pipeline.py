@@ -25,6 +25,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.alerts import AlertSink, IdmefAlert
 from repro.core.clusters import ClusterModel, protocol_class
 from repro.core.config import PipelineConfig
+from repro.core.detector import (
+    INFILTER_DETECTOR,
+    Detector,
+    DetectorVerdict,
+    Ensemble,
+    EnsembleDecision,
+    build_aux_detectors,
+)
 from repro.core.eia import BasicInFilter, EIACheck
 from repro.core.nns import SearchResult
 from repro.core.scan import ScanAnalyzer, ScanVerdict
@@ -44,6 +52,7 @@ __all__ = [
     "BatchResult",
     "PipelineStats",
     "EnhancedInFilter",
+    "InFilterDetector",
 ]
 
 #: Seed of the reservoir-sampling RNG in :class:`PipelineStats`.  A fixed
@@ -69,6 +78,8 @@ class Stage:
     SCAN = "scan"
     NNS = "nns"
     OVERLOAD = "overload"
+    #: The multi-detector combiner overruled (or originated) the verdict.
+    ENSEMBLE = "ensemble"
 
 
 @dataclass(frozen=True)
@@ -281,6 +292,29 @@ class _PipelineMetrics:
         )
         self.overload_dropped = self.overload.labels(action="dropped")
         self.overload_flagged = self.overload.labels(action="flagged")
+        # Ensemble-active runs only; the default InFilter-only composition
+        # never touches these (same help text as repro.core.detector so
+        # the get-or-create registry treats them as one family).
+        chain = registry.counter(
+            "infilter_detector_verdicts_total",
+            "Per-detector observe() outcomes, by detector and verdict.",
+            ("detector", "verdict"),
+        )
+        self.chain_hit = chain.labels(
+            detector=INFILTER_DETECTOR, verdict="hit"
+        )
+        self.chain_clear = chain.labels(
+            detector=INFILTER_DETECTOR, verdict="clear"
+        )
+        ensemble = registry.counter(
+            "infilter_detector_ensemble_decisions_total",
+            "Multi-detector combine outcomes, per assessed flow.",
+            ("outcome",),
+        )
+        self.ensemble_confirmed = ensemble.labels(outcome="confirmed")
+        self.ensemble_promoted = ensemble.labels(outcome="promoted")
+        self.ensemble_suppressed = ensemble.labels(outcome="suppressed")
+        self.ensemble_clear = ensemble.labels(outcome="clear")
 
     def note(self, decision: Decision) -> None:
         self.flows.labels(verdict=decision.verdict, stage=decision.stage).inc()
@@ -324,6 +358,17 @@ class EnhancedInFilter:
             else AlertSink(registry=registry)
         )
         self.stats = PipelineStats()
+        # The composed auxiliary detectors, in composition (= vote) order.
+        # With the default InFilter-only composition both are inert and
+        # every ensemble hook below reduces to the pre-ensemble pipeline.
+        self.aux_detectors: List[Detector] = build_aux_detectors(
+            config.detectors, registry=registry
+        )
+        self._ensemble: Optional[Ensemble] = (
+            Ensemble(config.ensemble_policy, config.detectors)
+            if len(config.detectors) > 1
+            else None
+        )
         self._rng = rng if rng is not None else SeededRng(config.nns.seed, "pipeline")
         self._alert_counter = 0
         # Overload model state: recent suspect timestamps (flow-time ms)
@@ -368,6 +413,8 @@ class EnhancedInFilter:
         self.model = ClusterModel.train(
             records, self.config.nns, rng=self._rng.fork("model")
         )
+        for aux in self.aux_detectors:
+            aux.train(records)
         self._nns_memo.clear()
         self._nns_raw_memo.clear()
 
@@ -410,7 +457,7 @@ class EnhancedInFilter:
                 eia=eia,
                 latency_s=watch.elapsed_s(),
             )
-            return self._record(decision)
+            return self._record(self._maybe_promote(record, decision))
 
         if not self.config.enhanced:
             decision = self._attack(
@@ -447,15 +494,18 @@ class EnhancedInFilter:
             is_normal = not self.config.flag_unmodelled_classes
         if is_normal:
             absorbed = self.infilter.note_benign(record)
-            decision = Decision(
-                verdict=Verdict.BENIGN,
-                stage=Stage.NNS,
-                eia=eia,
-                scan=scan_verdict,
-                neighbour=neighbour,
-                protocol_class=class_name,
-                absorbed=absorbed,
-                latency_s=watch.elapsed_s(),
+            decision = self._maybe_promote(
+                record,
+                Decision(
+                    verdict=Verdict.BENIGN,
+                    stage=Stage.NNS,
+                    eia=eia,
+                    scan=scan_verdict,
+                    neighbour=neighbour,
+                    protocol_class=class_name,
+                    absorbed=absorbed,
+                    latency_s=watch.elapsed_s(),
+                ),
             )
         else:
             decision = self._attack(
@@ -545,7 +595,10 @@ class EnhancedInFilter:
                     eia = memo_hit
             if not eia.suspect:
                 decisions.append(
-                    Decision(verdict=Verdict.LEGAL, stage=Stage.EIA, eia=eia)
+                    self._maybe_promote(
+                        record,
+                        Decision(verdict=Verdict.LEGAL, stage=Stage.EIA, eia=eia),
+                    )
                 )
                 continue
             if not self.config.enhanced:
@@ -597,14 +650,17 @@ class EnhancedInFilter:
                         fp_epoch = infilter.mutation_epoch
                         fp_shift = infilter.memo_shift
                 decisions.append(
-                    Decision(
-                        verdict=Verdict.BENIGN,
-                        stage=Stage.NNS,
-                        eia=eia,
-                        scan=scan_verdict,
-                        neighbour=assessment.neighbour,
-                        protocol_class=assessment.protocol_class,
-                        absorbed=absorbed_now,
+                    self._maybe_promote(
+                        record,
+                        Decision(
+                            verdict=Verdict.BENIGN,
+                            stage=Stage.NNS,
+                            eia=eia,
+                            scan=scan_verdict,
+                            neighbour=assessment.neighbour,
+                            protocol_class=assessment.protocol_class,
+                            absorbed=absorbed_now,
+                        ),
                     )
                 )
             else:
@@ -682,6 +738,10 @@ class EnhancedInFilter:
         self._nns_raw_memo[raw_key] = assessment
         return assessment
 
+    def as_detector(self) -> "InFilterDetector":
+        """This pipeline's detection chain as a :class:`Detector` member."""
+        return InFilterDetector(self)
+
     # -- the stage-state protocol --------------------------------------------
 
     @property
@@ -716,6 +776,11 @@ class EnhancedInFilter:
                 "counter": self._overload_counter,
                 "suspect_times": list(self._suspect_times),
             },
+            # One namespaced section per composed auxiliary detector, in
+            # composition order (empty for the default composition).
+            "detectors": {
+                aux.name: aux.state_dict() for aux in self.aux_detectors
+            },
         }
 
     def load_state(self, state: StateDict) -> None:
@@ -734,6 +799,14 @@ class EnhancedInFilter:
         overload = state["overload"]
         self._overload_counter = int(overload["counter"])
         self._suspect_times = deque(int(stamp) for stamp in overload["suspect_times"])
+        # Checkpoints written before the ensemble refactor (or by other
+        # compositions) may lack a section; such detectors keep their
+        # constructor state, matching the legacy-format retrain rule.
+        detector_sections = state.get("detectors", {})
+        for aux in self.aux_detectors:
+            section = detector_sections.get(aux.name)
+            if section is not None:
+                aux.load_state(section)
         self._nns_memo.clear()
         self._nns_raw_memo.clear()
         # The EIA epoch moved during the restore, so the memo would
@@ -783,11 +856,14 @@ class EnhancedInFilter:
                 "overload: suspect dropped unanalysed",
                 extra={"flow_time_ms": record.last, "action": "dropped"},
             )
-            return Decision(
-                verdict=Verdict.BENIGN,
-                stage=Stage.OVERLOAD,
-                eia=eia,
-                latency_s=watch.elapsed_s() if watch is not None else 0.0,
+            return self._maybe_promote(
+                record,
+                Decision(
+                    verdict=Verdict.BENIGN,
+                    stage=Stage.OVERLOAD,
+                    eia=eia,
+                    latency_s=watch.elapsed_s() if watch is not None else 0.0,
+                ),
             )
         self.stats.overload_flagged += 1
         self._metrics.overload_flagged.inc()
@@ -811,6 +887,107 @@ class EnhancedInFilter:
         neighbour: Optional[SearchResult] = None,
         protocol_class: Optional[str] = None,
     ) -> Decision:
+        """An InFilter-chain attack verdict, subject to ensemble review.
+
+        With the default composition this emits the alert directly; with
+        an ensemble, the chain's verdict is one vote and the combiner may
+        confirm (alert, with attribution) or suppress (benign, stage
+        ``ensemble``) it.
+        """
+        if self._ensemble is None:
+            return self._emit_attack(
+                record,
+                eia,
+                stage,
+                classification,
+                latency_s=watch.elapsed_s() if watch is not None else 0.0,
+                scan=scan,
+                neighbour=neighbour,
+                protocol_class=protocol_class,
+            )
+        self._metrics.chain_hit.inc()
+        combined = self._combine(record, chain_attack=True)
+        if combined.attack:
+            self._metrics.ensemble_confirmed.inc()
+            return self._emit_attack(
+                record,
+                eia,
+                stage,
+                classification,
+                latency_s=watch.elapsed_s() if watch is not None else 0.0,
+                scan=scan,
+                neighbour=neighbour,
+                protocol_class=protocol_class,
+                attribution=combined.attribution,
+            )
+        self._metrics.ensemble_suppressed.inc()
+        return Decision(
+            verdict=Verdict.BENIGN,
+            stage=Stage.ENSEMBLE,
+            eia=eia,
+            scan=scan,
+            neighbour=neighbour,
+            protocol_class=protocol_class,
+            latency_s=watch.elapsed_s() if watch is not None else 0.0,
+        )
+
+    def _maybe_promote(self, record: FlowRecord, decision: Decision) -> Decision:
+        """Give the ensemble a chance to overrule a non-attack verdict.
+
+        A no-op (returning ``decision`` untouched) unless more than one
+        detector is composed.  A promoted flow becomes an attack at stage
+        ``ensemble``, classified by the triggering detector's reason, and
+        its alert carries the full attribution; EIA absorption bookkeeping
+        from the chain's own (benign) assessment stands either way — set
+        learning stays the chain's business.
+        """
+        if self._ensemble is None:
+            return decision
+        self._metrics.chain_clear.inc()
+        combined = self._combine(record, chain_attack=False)
+        if not combined.attack:
+            self._metrics.ensemble_clear.inc()
+            return decision
+        self._metrics.ensemble_promoted.inc()
+        trigger = combined.trigger
+        classification = (
+            trigger.reason if trigger is not None and trigger.reason else "ensemble-vote"
+        )
+        return self._emit_attack(
+            record,
+            decision.eia,
+            Stage.ENSEMBLE,
+            classification,
+            latency_s=decision.latency_s,
+            scan=decision.scan,
+            neighbour=decision.neighbour,
+            protocol_class=decision.protocol_class,
+            absorbed=decision.absorbed,
+            attribution=combined.attribution,
+        )
+
+    def _combine(self, record: FlowRecord, *, chain_attack: bool) -> EnsembleDecision:
+        """Collect the auxiliary votes for one flow and fold them."""
+        assert self._ensemble is not None
+        aux_verdicts: List[DetectorVerdict] = [
+            aux.observe(record) for aux in self.aux_detectors
+        ]
+        return self._ensemble.combine(chain_attack, aux_verdicts)
+
+    def _emit_attack(
+        self,
+        record: FlowRecord,
+        eia: EIACheck,
+        stage: str,
+        classification: str,
+        *,
+        latency_s: float,
+        scan: Optional[ScanVerdict] = None,
+        neighbour: Optional[SearchResult] = None,
+        protocol_class: Optional[str] = None,
+        absorbed: bool = False,
+        attribution: Tuple[str, ...] = (),
+    ) -> Decision:
         self._alert_counter += 1
         alert = IdmefAlert.for_flow(
             f"infilter-{self._alert_counter:08d}",
@@ -820,6 +997,7 @@ class EnhancedInFilter:
             expected_peer=eia.expected_peer,
             detect_time_ms=record.last,
             severity="high" if stage == Stage.SCAN else "medium",
+            attribution=attribution,
         )
         self.alert_sink.consume(alert)
         return Decision(
@@ -830,5 +1008,79 @@ class EnhancedInFilter:
             neighbour=neighbour,
             protocol_class=protocol_class,
             alert=alert,
-            latency_s=watch.elapsed_s() if watch is not None else 0.0,
+            absorbed=absorbed,
+            latency_s=latency_s,
+        )
+
+
+class InFilterDetector:
+    """The paper's EIA + Scan Analysis + NNS chain as a protocol member.
+
+    Adapts one :class:`EnhancedInFilter`'s stages — including the
+    PR-6 fastpath-backed NNS memo (:meth:`EnhancedInFilter.assess_memoised`)
+    — to the uniform :class:`~repro.core.detector.Detector` interface, the
+    same observe chain shard workers speculate on their replicas
+    (:mod:`repro.engine.worker`).  ``observe`` feeds the scan buffer, so
+    use it on a dedicated pipeline (or replica), not interleaved with
+    ``process`` calls on the same one; it deliberately skips the
+    pipeline's own alerting, stats, and overload bookkeeping — those
+    belong to the pipeline that hosts the ensemble, and double-counting
+    is exactly what this split avoids.
+    """
+
+    name = INFILTER_DETECTOR
+
+    def __init__(self, pipeline: EnhancedInFilter) -> None:
+        self._pipeline = pipeline
+
+    def observe(self, record: FlowRecord) -> DetectorVerdict:
+        """The chain's verdict for one flow, without pipeline side effects."""
+        pipeline = self._pipeline
+        eia = pipeline.infilter.check(record)
+        if not eia.suspect:
+            return DetectorVerdict(self.name, False)
+        if not pipeline.config.enhanced:
+            return DetectorVerdict(
+                self.name, True, score=1.0, reason="spoofed-source"
+            )
+        scan_verdict = pipeline.scan.observe(record)
+        if scan_verdict.is_scan:
+            return DetectorVerdict(
+                self.name, True, score=1.0, reason=scan_verdict.kind or "scan"
+            )
+        assessment = pipeline.assess_memoised(record)
+        is_normal = assessment.is_normal
+        if is_normal is None:
+            is_normal = not pipeline.config.flag_unmodelled_classes
+        if is_normal:
+            return DetectorVerdict(self.name, False)
+        return DetectorVerdict(self.name, True, score=1.0, reason="nns-anomaly")
+
+    def train(self, records: Sequence[FlowRecord]) -> None:
+        self._pipeline.train(records)
+
+    # -- the stage-state protocol --------------------------------------------
+
+    def state_dict(self) -> StateDict:
+        """The chain's three analysis stages, one section each."""
+        pipeline = self._pipeline
+        return {
+            "eia": pipeline.infilter.state_dict(),
+            "scan": pipeline.scan.state_dict(),
+            "model": (
+                pipeline.model.state_dict()
+                if pipeline.model is not None
+                else None
+            ),
+        }
+
+    def load_state(self, state: StateDict) -> None:
+        pipeline = self._pipeline
+        pipeline.infilter.load_state(state["eia"])
+        pipeline.scan.load_state(state["scan"])
+        model_state = state["model"]
+        pipeline.model = (
+            ClusterModel.from_state(pipeline.config.nns, model_state)
+            if model_state is not None
+            else None
         )

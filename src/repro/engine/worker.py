@@ -55,11 +55,19 @@ class DetectorTemplate:
     replicas start from the protocol's own capture rather than a private
     reconstruction.  (Replica pending counters are inert: ``speculate``
     never runs the learning rule, so carrying them is free and uniform.)
+
+    ``detector_state`` shards the composed auxiliary detectors the same
+    way: one stage-state section per :class:`~repro.core.Detector` name
+    (empty for the default InFilter-only composition).  Replicas carry
+    them so a shard is a full per-detector clone of the authoritative
+    pipeline; the commit stage still runs the ensemble combine itself,
+    so replica copies affect speculation only, never verdicts.
     """
 
     config: PipelineConfig
     model: Optional[ClusterModel]
     eia_state: StateDict
+    detector_state: StateDict = field(default_factory=dict)
 
     @classmethod
     def from_detector(cls, detector: EnhancedInFilter) -> "DetectorTemplate":
@@ -67,6 +75,9 @@ class DetectorTemplate:
             config=detector.config,
             model=detector.model,
             eia_state=detector.infilter.state_dict(),
+            detector_state={
+                aux.name: aux.state_dict() for aux in detector.aux_detectors
+            },
         )
 
 
@@ -106,6 +117,10 @@ class ShardWorker:
         # The trained model is immutable; share (or unpickle) it rather
         # than retraining per replica.
         replica.model = template.model
+        for aux in replica.aux_detectors:
+            section = template.detector_state.get(aux.name)
+            if section is not None:
+                aux.load_state(section)
         self.replica = replica
         self.deltas_applied = 0
 

@@ -77,6 +77,7 @@ class ColumnarBatch:
     src_mask: _IntColumn
     dst_mask: _IntColumn
     output_if: _IntColumn
+    ttl: _IntColumn
 
     def __len__(self) -> int:
         return len(self.src_addr)
@@ -110,6 +111,7 @@ class ColumnarBatch:
                 src_mask=src_mask,
                 dst_mask=dst_mask,
                 output_if=output_if,
+                ttl=ttl,
             )
             for (
                 src_addr,
@@ -130,6 +132,7 @@ class ColumnarBatch:
                 src_mask,
                 dst_mask,
                 output_if,
+                ttl,
             ) in zip(
                 self.src_addr,
                 self.dst_addr,
@@ -149,6 +152,7 @@ class ColumnarBatch:
                 self.src_mask,
                 self.dst_mask,
                 self.output_if,
+                self.ttl,
             )
         ]
 
@@ -209,9 +213,9 @@ def decode_v5_columnar(data: bytes) -> Tuple[V5Header, ColumnarBatch]:
     )
     rows = list(RECORD_STRUCT.iter_unpack(memoryview(data)[HEADER_LEN:expected]))
     columns = cast(Tuple[_IntColumn, ...], tuple(zip(*rows)))
-    # Wire layout (with pads at 11 and 19):
+    # Wire layout (ttl in the pad1 slot at 11, pad at 19):
     # src dst nexthop input output packets octets first last sport dport
-    # pad1 flags proto tos src_as dst_as src_mask dst_mask pad2
+    # ttl flags proto tos src_as dst_as src_mask dst_mask pad2
     if not _columns_valid(columns[5], columns[6], columns[7], columns[8]):
         _raise_first_invalid(rows, _build_v5_record, "datagram")
     batch = ColumnarBatch(
@@ -233,6 +237,7 @@ def decode_v5_columnar(data: bytes) -> Tuple[V5Header, ColumnarBatch]:
         src_mask=columns[17],
         dst_mask=columns[18],
         output_if=columns[4],
+        ttl=columns[11],
     )
     return header, batch
 
@@ -286,6 +291,7 @@ def decode_v1_columnar(data: bytes) -> Tuple[int, ColumnarBatch]:
         src_mask=zeros,
         dst_mask=zeros,
         output_if=columns[4],
+        ttl=zeros,
     )
     return sys_uptime, batch
 
@@ -313,6 +319,7 @@ def _build_v5_record(row: Tuple[Any, ...]) -> FlowRecord:
         src_mask=row[17],
         dst_mask=row[18],
         output_if=row[4],
+        ttl=row[11],
     )
 
 

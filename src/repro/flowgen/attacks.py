@@ -15,7 +15,8 @@ TCPDUMP captures played.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import dataclasses
+from typing import Callable, Dict, List, Tuple
 
 from repro.flowgen.traces import TraceFlow
 from repro.netflow.records import (
@@ -368,12 +369,72 @@ def attack_catalog() -> Dict[str, AttackGenerator]:
     return dict(_CATALOG)
 
 
-def generate_attack(name: str, *, rng: SeededRng, start_ms: int = 0) -> List[TraceFlow]:
-    """Generate one instance of the named attack."""
+#: TTLs no real forwarding path produces for this topology: packets
+#: arriving nearly dead (hand-set initial TTL ≈ hop count) or nearly
+#: untouched (hand-set to the maximum).  Raw spoofing tools set the
+#: field arbitrarily; these are the implausible values the Figure 15/16
+#: variation suite stamps on attack flows.
+_IMPLAUSIBLE_TTLS: Tuple[int, ...] = (1, 2, 254, 255)
+
+#: Concrete martian source addresses, one per builtin bogon category
+#: that :class:`~repro.core.BogonDetector` ships with (this-network,
+#: private, shared CGN, loopback, multicast, reserved).  Cycled over by
+#: flow index so a variation run exercises every category.
+_MARTIAN_SOURCES: Tuple[int, ...] = (
+    0x0000_0021,  # 0.0.0.33       (this-network)
+    0x0A00_0001,  # 10.0.0.1       (private)
+    0x6440_000D,  # 100.64.0.13    (shared-cgn)
+    0x7F00_0001,  # 127.0.0.1      (loopback)
+    0xE000_0005,  # 224.0.0.5      (multicast)
+    0xF000_0009,  # 240.0.0.9      (reserved)
+)
+
+
+def generate_attack(
+    name: str,
+    *,
+    rng: SeededRng,
+    start_ms: int = 0,
+    implausible_ttl: bool = False,
+    martian_fraction: float = 0.0,
+) -> List[TraceFlow]:
+    """Generate one instance of the named attack.
+
+    ``implausible_ttl`` stamps every flow with a TTL outside any
+    plausible arrival range (cycled from :data:`_IMPLAUSIBLE_TTLS`);
+    ``martian_fraction`` pins that fraction of flows to bogon source
+    addresses via ``src_override``.  Both are pure post-generation
+    transforms — they draw nothing from ``rng``, so the base attack
+    footprint is identical draw for draw with the knobs on or off, and
+    variation runs stay comparable to their baselines.
+    """
+    if not 0.0 <= martian_fraction <= 1.0:
+        raise ConfigError(
+            f"martian_fraction {martian_fraction} out of range [0, 1]"
+        )
     try:
         generator = _CATALOG[name]
     except KeyError:
         raise ConfigError(
             f"unknown attack {name!r}; expected one of {ATTACK_NAMES}"
         ) from None
-    return generator(rng, start_ms)
+    flows = generator(rng, start_ms)
+    if not implausible_ttl and martian_fraction == 0.0:
+        return flows
+    threshold = int(round(martian_fraction * 1000))
+    varied: List[TraceFlow] = []
+    for index, flow in enumerate(flows):
+        changes: Dict[str, object] = {}
+        if implausible_ttl:
+            changes["ttl"] = _IMPLAUSIBLE_TTLS[index % len(_IMPLAUSIBLE_TTLS)]
+        # Low-discrepancy index spread: the 619-step lattice hits
+        # ``threshold`` per mille of any contiguous flow range, so even
+        # short attacks see a representative martian share.
+        if (index * 619) % 1000 < threshold:
+            changes["src_override"] = _MARTIAN_SOURCES[
+                index % len(_MARTIAN_SOURCES)
+            ]
+        varied.append(
+            dataclasses.replace(flow, **changes) if changes else flow
+        )
+    return varied

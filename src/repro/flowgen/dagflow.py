@@ -58,6 +58,7 @@ class Dagflow:
         rng: SeededRng,
         block_weights: Optional[Sequence[float]] = None,
         source_pool_size: Optional[int] = None,
+        emit_ttl: bool = False,
     ) -> None:
         if not 0 < udp_port < 65536:
             raise ConfigError(f"udp_port {udp_port} out of range")
@@ -66,6 +67,11 @@ class Dagflow:
         self.name = name
         self.target_prefix = target_prefix
         self.udp_port = udp_port
+        #: When set, records carry a plausible arriving TTL derived from
+        #: their source address (stable per source — the property the
+        #: TTL-profile detector learns).  A trace flow's own ``ttl``
+        #: always wins, so attack variations can stamp implausible ones.
+        self.emit_ttl = emit_ttl
         self._rng = rng.fork(f"dagflow-{name}")
         self._blocks: List[Prefix] = []
         self._weights: Optional[List[float]] = None
@@ -119,13 +125,33 @@ class Dagflow:
             return self._rng.choice(self._pool)
         return self._draw_source()
 
+    @staticmethod
+    def _plausible_ttl(src_addr: int) -> int:
+        """A stable per-source arriving TTL in the plausible band.
+
+        A pure hash of the address into [49, 64] — a common initial TTL
+        of 64 minus a 0-15 hop path that never changes for a source.
+        Deterministic with no RNG draw, so enabling ``emit_ttl`` leaves
+        every address stream untouched.
+        """
+        return 49 + (src_addr * 2_654_435_761) % (2 ** 32) % 16
+
     def record_for(self, flow: TraceFlow) -> FlowRecord:
         """Synthesise the NetFlow v5 record one trace flow produces."""
         dst = self.target_prefix.nth_address(
             flow.dst_host % self.target_prefix.size()
         )
+        # Draw the source before any override so the RNG stream — and
+        # therefore every other flow's addresses — is identical between
+        # a baseline run and its martian-source variation.
+        src = self._pick_source()
+        if flow.src_override is not None:
+            src = flow.src_override
+        ttl = flow.ttl
+        if ttl == 0 and self.emit_ttl:
+            ttl = self._plausible_ttl(src)
         key = FlowKey(
-            src_addr=self._pick_source(),
+            src_addr=src,
             dst_addr=dst,
             protocol=flow.protocol,
             src_port=flow.src_port,
@@ -138,6 +164,7 @@ class Dagflow:
             first=flow.start_ms,
             last=flow.start_ms + flow.duration_ms,
             tcp_flags=flow.tcp_flags,
+            ttl=ttl,
         )
 
     def replay(self, trace: Iterable[TraceFlow]) -> Iterator[LabeledRecord]:

@@ -43,6 +43,12 @@ class TraceFlow:
     ``label`` is ``"normal"`` for background traffic or the attack name
     for attack traces — used by experiments as detection ground truth,
     never by the detector itself.
+
+    ``ttl`` is the arriving IP TTL to stamp on the synthesised record
+    (0 = let Dagflow decide); ``src_override`` pins the record's source
+    to a concrete address instead of a Dagflow block draw — how attack
+    variations plant martian sources without touching the address
+    machinery.
     """
 
     start_ms: int
@@ -55,6 +61,8 @@ class TraceFlow:
     dst_host: int
     tcp_flags: int = 0
     label: str = "normal"
+    ttl: int = 0
+    src_override: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.packets < 1 or self.octets < self.packets * 20:
@@ -63,6 +71,12 @@ class TraceFlow:
             )
         if self.duration_ms < 0:
             raise ConfigError("duration cannot be negative")
+        if not 0 <= self.ttl <= 255:
+            raise ConfigError(f"ttl {self.ttl} out of range [0, 255]")
+        if self.src_override is not None and not (
+            0 <= self.src_override <= 0xFFFFFFFF
+        ):
+            raise ConfigError("src_override must be a 32-bit address")
 
     @property
     def is_attack(self) -> bool:

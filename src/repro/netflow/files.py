@@ -56,7 +56,12 @@ _ASCII_FIELDS = (
     "src_mask",
     "dst_mask",
     "next_hop",
+    "ttl",
 )
+
+#: Older exports predate the trailing ``ttl`` column; they import with
+#: ``ttl=0`` ("not measured").
+_LEGACY_ASCII_FIELD_COUNT = len(_ASCII_FIELDS) - 1
 
 
 def _pack_record(record: FlowRecord) -> bytes:
@@ -73,7 +78,7 @@ def _pack_record(record: FlowRecord) -> bytes:
         record.last,
         key.src_port,
         key.dst_port,
-        0,
+        record.ttl,
         record.tcp_flags,
         key.protocol,
         key.tos,
@@ -102,7 +107,7 @@ def _unpack_record(buffer: bytes, offset: int) -> FlowRecord:
         last,
         src_port,
         dst_port,
-        _pad1,
+        ttl,
         tcp_flags,
         protocol,
         tos,
@@ -116,7 +121,7 @@ def _unpack_record(buffer: bytes, offset: int) -> FlowRecord:
         return _build_record(
             src_addr, dst_addr, next_hop, input_if, output_if, packets,
             octets, first, last, src_port, dst_port, tcp_flags, protocol,
-            tos, src_as, dst_as, src_mask, dst_mask,
+            tos, src_as, dst_as, src_mask, dst_mask, ttl,
         )
     except ValueError as error:
         raise NetFlowDecodeError(
@@ -129,6 +134,7 @@ def _build_record(
     output_if: int, packets: int, octets: int, first: int, last: int,
     src_port: int, dst_port: int, tcp_flags: int, protocol: int,
     tos: int, src_as: int, dst_as: int, src_mask: int, dst_mask: int,
+    ttl: int,
 ) -> FlowRecord:
     return FlowRecord(
         key=FlowKey(
@@ -151,6 +157,7 @@ def _build_record(
         src_mask=src_mask,
         dst_mask=dst_mask,
         output_if=output_if,
+        ttl=ttl,
     )
 
 
@@ -220,6 +227,7 @@ def export_ascii(
             record.src_mask,
             record.dst_mask,
             format_ipv4(record.next_hop),
+            record.ttl,
         )
         return ",".join(str(value) for value in values)
 
@@ -248,7 +256,7 @@ def import_ascii(source: Union[str, Path, TextIO]) -> List[FlowRecord]:
         if not line or line.startswith("#"):
             continue
         parts = line.split(",")
-        if len(parts) != len(_ASCII_FIELDS):
+        if len(parts) not in (len(_ASCII_FIELDS), _LEGACY_ASCII_FIELD_COUNT):
             raise NetFlowError(
                 f"line {line_number}: expected {len(_ASCII_FIELDS)} fields,"
                 f" got {len(parts)}"
@@ -276,6 +284,7 @@ def import_ascii(source: Union[str, Path, TextIO]) -> List[FlowRecord]:
                     src_mask=int(parts[15]),
                     dst_mask=int(parts[16]),
                     next_hop=parse_ipv4(parts[17]),
+                    ttl=int(parts[18]) if len(parts) > 18 else 0,
                 )
             )
         except (ValueError, IndexError) as error:

@@ -104,6 +104,10 @@ class FlowRecord:
     dst_mask: int = 0
     output_if: int = 0
     exporter: int = 0
+    #: Minimum observed IP TTL of the flow's packets, carried in the v5
+    #: record's pad1 byte (a probe-style extension some exporters use).
+    #: ``0`` means "not measured" — analyses keying on TTL must abstain.
+    ttl: int = 0
 
     def __post_init__(self) -> None:
         if self.packets <= 0:
@@ -112,6 +116,8 @@ class FlowRecord:
             raise RecordError("a flow record must cover at least one octet")
         if self.last < self.first:
             raise RecordError("flow end precedes flow start")
+        if not 0 <= self.ttl <= 255:
+            raise RecordError("flow TTL must fit in one octet")
 
     def duration_ms(self) -> int:
         """Flow duration in milliseconds."""

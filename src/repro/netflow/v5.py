@@ -128,7 +128,7 @@ def encode_datagram(
                 record.last & _U32,
                 key.src_port & _U16,
                 key.dst_port & _U16,
-                0,  # pad1
+                record.ttl & 0xFF,  # pad1 carries the min-TTL extension
                 record.tcp_flags & 0xFF,
                 key.protocol & 0xFF,
                 key.tos & 0xFF,
@@ -197,7 +197,7 @@ def decode_datagram(data: bytes) -> Tuple[V5Header, List[FlowRecord]]:
             last,
             src_port,
             dst_port,
-            _pad1,
+            ttl,
             tcp_flags,
             protocol,
             tos,
@@ -231,6 +231,7 @@ def decode_datagram(data: bytes) -> Tuple[V5Header, List[FlowRecord]]:
                 src_mask=src_mask,
                 dst_mask=dst_mask,
                 output_if=output_if,
+                ttl=ttl,
             )
         except ValueError as error:
             # Structurally framed but semantically invalid (zero packets,

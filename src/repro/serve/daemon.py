@@ -146,9 +146,16 @@ class ServeDaemon:
     # -- health / reporting --------------------------------------------------
 
     def health(self) -> Dict[str, object]:
-        """The ``/healthz`` document: liveness plus drain visibility."""
+        """The ``/healthz`` document: liveness plus drain visibility.
+
+        ``detectors``/``ensemble_policy`` describe the live composition
+        and track hot reloads (a SIGHUP checkpoint swap may recompose
+        the ensemble).
+        """
         return {
             "state": self._state,
+            "detectors": list(self.detector.config.detectors),
+            "ensemble_policy": self.detector.config.ensemble_policy,
             "queue_depth": len(self.queue),
             "queue_capacity": self.config.queue_capacity,
             "shed_policy": self.config.shed_policy,

@@ -614,3 +614,98 @@ class TestServeValidation:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err.lower()
+
+
+class TestEnsembleFlags:
+    """``--detectors``/``--ensemble-policy`` validation and behaviour.
+
+    Malformed compositions are ConfigErrors from ``PipelineConfig``
+    itself, so every refusal is one ``error:`` line with the available
+    names — on ``detect`` and ``serve`` alike, before any work happens.
+    """
+
+    def test_unknown_detector_rejected(self, plan_file, normal_file, capsys):
+        code = main(
+            ["detect", normal_file, plan_file, "--basic",
+             "--detectors", "infilter,zeta"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown detector 'zeta'" in err
+        assert "available: infilter, ttl_profile, bogon" in err
+
+    def test_empty_composition_rejected(self, plan_file, normal_file, capsys):
+        code = main(
+            ["detect", normal_file, plan_file, "--basic", "--detectors", ""]
+        )
+        assert code == 2
+        assert "composition is empty" in capsys.readouterr().err
+
+    def test_duplicate_detectors_rejected(self, plan_file, normal_file, capsys):
+        code = main(
+            ["detect", normal_file, plan_file, "--basic",
+             "--detectors", "infilter,bogon,bogon"]
+        )
+        assert code == 2
+        assert "duplicate detector name(s) bogon" in capsys.readouterr().err
+
+    def test_missing_anchor_rejected(self, plan_file, normal_file, capsys):
+        code = main(
+            ["detect", normal_file, plan_file, "--basic",
+             "--detectors", "ttl_profile,bogon"]
+        )
+        assert code == 2
+        assert "must include 'infilter'" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected(self, plan_file, normal_file, capsys):
+        code = main(
+            ["detect", normal_file, plan_file, "--basic",
+             "--ensemble-policy", "quorum"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown ensemble policy 'quorum'" in err
+        assert "any, majority, weighted" in err
+
+    def test_serve_rejects_unknown_detector(self, plan_file, capsys):
+        code = main(
+            ["serve", plan_file, "--basic", "--detectors", "infilter,nope"]
+        )
+        assert code == 2
+        assert "unknown detector 'nope'" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_policy(self, plan_file, capsys):
+        code = main(
+            ["serve", plan_file, "--basic", "--ensemble-policy", "most"]
+        )
+        assert code == 2
+        assert "unknown ensemble policy 'most'" in capsys.readouterr().err
+
+    def test_ensemble_detect_runs_clean(
+        self, tmp_path, plan_file, normal_file, capsys
+    ):
+        attack = tmp_path / "atk.bin"
+        main(["synth", str(attack), "--attack", "slammer", "--spoof"])
+        code = main(
+            ["detect", str(attack), plan_file,
+             "--training-file", normal_file,
+             "--detectors", "infilter,ttl_profile,bogon",
+             "--ensemble-policy", "weighted"]
+        )
+        assert code == 0
+        assert "flagged as attacks" in capsys.readouterr().out
+
+    def test_load_state_notes_composition_comes_from_checkpoint(
+        self, tmp_path, plan_file, normal_file, capsys
+    ):
+        state = tmp_path / "state.json"
+        assert main(
+            ["detect", normal_file, plan_file, "--basic",
+             "--save-state", str(state)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["detect", normal_file, "--load-state", str(state),
+             "--detectors", "infilter,bogon"]
+        ) == 0
+        assert "comes from the checkpoint" in capsys.readouterr().err

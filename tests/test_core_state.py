@@ -56,8 +56,8 @@ class TestRegistry:
 
     def test_expected_components_are_registered(self):
         assert set(STATEFUL_COMPONENTS) == {
-            "alerts", "eia", "eia_set", "model", "nns",
-            "pipeline", "rng", "scan", "stats",
+            "alerts", "bogon", "eia", "eia_set", "model", "nns",
+            "pipeline", "rng", "scan", "stats", "ttl_profile",
         }
 
     def test_instances_satisfy_the_runtime_protocol(self):

@@ -118,3 +118,63 @@ class TestSignatureShapes:
         (flow,) = generate_attack("http_exploit", rng=SeededRng(7))
         assert flow.dst_port == PORT_HTTP
         assert flow.octets / flow.packets > 10_000
+
+
+class TestVariationKnobs:
+    """TTL and martian-source variation knobs (the Figure 15/16 suite)."""
+
+    def test_knobs_leave_the_base_footprint_untouched(self):
+        base = generate_attack("slammer", rng=SeededRng(7))
+        varied = generate_attack(
+            "slammer", rng=SeededRng(7),
+            implausible_ttl=True, martian_fraction=0.5,
+        )
+        assert len(varied) == len(base)
+        for before, after in zip(base, varied):
+            assert (before.start_ms, before.packets, before.octets,
+                    before.dst_host, before.dst_port) == (
+                after.start_ms, after.packets, after.octets,
+                after.dst_host, after.dst_port,
+            )
+
+    def test_implausible_ttl_stamps_every_flow(self):
+        flows = generate_attack(
+            "tfn2k", rng=SeededRng(7), implausible_ttl=True
+        )
+        assert all(f.ttl in (1, 2, 254, 255) for f in flows)
+        # The default leaves the field unset for Dagflow to fill.
+        assert all(
+            f.ttl == 0 for f in generate_attack("tfn2k", rng=SeededRng(7))
+        )
+
+    def test_martian_fraction_spreads_over_the_flows(self):
+        flows = generate_attack(
+            "tfn2k", rng=SeededRng(7), martian_fraction=0.5
+        )
+        overridden = [f for f in flows if f.src_override is not None]
+        assert 0 < len(overridden) < len(flows)
+        # Roughly the requested share, deterministically spread.
+        assert abs(len(overridden) / len(flows) - 0.5) < 0.15
+
+    def test_martian_fraction_one_overrides_everything(self):
+        flows = generate_attack(
+            "slammer", rng=SeededRng(7), martian_fraction=1.0
+        )
+        assert all(f.src_override is not None for f in flows)
+
+    def test_martian_fraction_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_attack("slammer", rng=SeededRng(7), martian_fraction=1.5)
+        with pytest.raises(ConfigError):
+            generate_attack("slammer", rng=SeededRng(7), martian_fraction=-0.1)
+
+    def test_variations_are_deterministic(self):
+        first = generate_attack(
+            "host_scan", rng=SeededRng(9),
+            implausible_ttl=True, martian_fraction=0.25,
+        )
+        second = generate_attack(
+            "host_scan", rng=SeededRng(9),
+            implausible_ttl=True, martian_fraction=0.25,
+        )
+        assert first == second

@@ -667,3 +667,22 @@ class TestServeSubprocess:
         # --resume writes the full alert history, so the second file IS
         # the complete stream of the interrupted-and-resumed run.
         assert (tmp_path / "alerts-2.xml").read_text() == expected
+
+
+class TestHealthComposition:
+    def test_health_reports_the_detector_composition(self):
+        from repro.core import EnhancedInFilter, PipelineConfig
+        from repro.util import SeededRng
+
+        detector = EnhancedInFilter(
+            PipelineConfig(
+                enhanced=False,
+                detectors=("infilter", "ttl_profile", "bogon"),
+                ensemble_policy="weighted",
+            ),
+            rng=SeededRng(1, "health"),
+        )
+        daemon = ServeDaemon(detector, ServeConfig(port=0))
+        health = daemon.health()
+        assert health["detectors"] == ["infilter", "ttl_profile", "bogon"]
+        assert health["ensemble_policy"] == "weighted"
