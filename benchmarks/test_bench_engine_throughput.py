@@ -1,4 +1,4 @@
-"""E12 — sharded ingest engine throughput vs serial processing.
+"""E19 — sharded ingest engine throughput vs serial processing.
 
 The engine's batch commit path amortises per-flow instrumentation and
 memoises the pure NNS assessment across a batch, so on suspect-heavy
@@ -116,7 +116,7 @@ def test_e12_engine_throughput_vs_serial():
     engine_fps = len(records) / engine_s if engine_s else 0.0
     speedup = engine_fps / serial_fps if serial_fps else 0.0
     report(
-        "E12_engine_throughput",
+        "E19_engine_throughput",
         table(
             ["path", "flows", "elapsed", "flows/sec"],
             [

@@ -2,7 +2,7 @@
 
 Two planes of ``repro.fastpath`` are measured against the serial
 record-at-a-time implementations they shadow, on the same suspect-heavy
-flood E12 uses (so the serial flows/sec baseline is directly comparable
+flood E19 uses (so the serial flows/sec baseline is directly comparable
 across the two experiments):
 
 * **decode** — whole v5 datagrams through ``struct.iter_unpack`` over a
@@ -44,7 +44,7 @@ _SEED = 20150
 _BATCH = 512
 
 #: The flood's repeated flow shapes: (packets, octets, duration_ms) —
-#: the same archetype mix as E12, so the serial baselines line up.
+#: the same archetype mix as E19, so the serial baselines line up.
 _SHAPES = [
     (1, 40 + 24 * i, 1 + 7 * (i % 5)) for i in range(8)
 ] + [

@@ -15,7 +15,10 @@ including every substrate the paper's system and evaluation depend on:
 - :mod:`repro.testbed` — the Figure 13/14 testbed and the Section 6.3
   experiment sets;
 - :mod:`repro.validation` — the Section 3 hypothesis-validation studies;
-- :mod:`repro.baselines` — uRPF, history-based filtering, signature IDS.
+- :mod:`repro.baselines` — uRPF, history-based filtering, signature IDS;
+- :mod:`repro.cluster` — the multi-process serving cluster: a flow
+  director steering NetFlow to shard-affine worker processes under one
+  supervisor with federated observability and supervised restart.
 
 Quick start::
 

@@ -70,6 +70,7 @@ LAYERS: Dict[str, int] = {
     "serve": 5,
     "testbed": 5,
     "baselines": 6,
+    "cluster": 6,
     "cli": 7,
 }
 

@@ -1,0 +1,164 @@
+"""Federation: merging worker observability into one cluster view.
+
+Each shard worker is a separate process with its own
+:class:`~repro.obs.MetricsRegistry`, scraped over its own ephemeral
+``/stats.json`` endpoint.  The supervisor presents the whole cluster on
+one endpoint by merging those snapshots into a single registry where
+**every** metric family — worker families and the supervisor's own —
+gains a trailing ``worker`` label (``"0"``, ``"1"``, ... for shard
+workers, ``"director"`` for the supervisor).  Labelling every family
+uniformly, rather than only names that collide, keeps one metric name
+from appearing with two label schemas in the same registry — the exact
+conflict the registry is built to refuse.
+
+The alert half of federation is :func:`canonical_alerts`: per-worker
+alert streams carry process-local ``infilter-NNNNNNNN`` idents, so
+cluster-vs-serial equivalence compares alerts in a canonical order with
+canonically renumbered idents.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import asyncio
+
+from repro.core.alerts import IdmefAlert
+from repro.obs import Histogram, MetricsRegistry
+from repro.util.errors import ClusterError
+
+__all__ = ["DIRECTOR_LABEL", "federate", "canonical_alerts", "fetch_json"]
+
+#: The ``worker`` label value carried by the supervisor's own metrics.
+DIRECTOR_LABEL = "director"
+
+
+def federate(sources: Mapping[str, MetricsRegistry]) -> MetricsRegistry:
+    """Merge per-source registries into one ``worker``-labelled registry.
+
+    ``sources`` maps the ``worker`` label value to that source's
+    registry (typically ``{"director": <supervisor's own>, "0": ...,
+    "1": ...}``).  Values are copied, not aliased; scraping the merge
+    never mutates a source.
+    """
+    merged = MetricsRegistry()
+    for worker in sorted(sources):
+        registry = sources[worker]
+        for family in registry.collect():
+            # A source family that already carries a ``worker`` label
+            # (the director's per-shard counters) is relabelled to
+            # ``exported_worker``, the Prometheus federation convention,
+            # so the merged schema stays one-label-name-one-meaning.
+            labelnames = tuple(
+                "exported_worker" if name == "worker" else name
+                for name in family.labelnames
+            ) + ("worker",)
+            if isinstance(family, Histogram):
+                target = merged.histogram(
+                    family.name, family.help, labelnames, family.buckets
+                )
+                for values, child in family.samples():
+                    leaf = target.labels(
+                        **dict(zip(labelnames, values + (worker,)))
+                    )
+                    assert isinstance(leaf, Histogram)
+                    leaf.bucket_counts = list(child.bucket_counts)
+                    leaf.sum = child.sum
+                    leaf.count = child.count
+            else:
+                registrar = (
+                    merged.counter
+                    if family.kind == "counter"
+                    else merged.gauge
+                )
+                target = registrar(family.name, family.help, labelnames)
+                for values, child in family.samples():
+                    leaf = target.labels(
+                        **dict(zip(labelnames, values + (worker,)))
+                    )
+                    leaf.value = child.value  # type: ignore[attr-defined]
+    return merged
+
+
+def _alert_key(alert: IdmefAlert) -> Tuple[object, ...]:
+    return (
+        alert.detect_time_ms,
+        alert.source_address,
+        alert.target_address,
+        alert.target_port,
+        alert.protocol,
+        alert.classification,
+        alert.stage,
+        alert.observed_peer,
+        alert.expected_peer if alert.expected_peer is not None else -1,
+        alert.severity,
+        alert.attribution,
+    )
+
+
+def canonical_alerts(alerts: Iterable[IdmefAlert]) -> List[IdmefAlert]:
+    """Alerts in canonical order with canonically renumbered idents.
+
+    Two runs that flag the same flows for the same reasons — regardless
+    of worker interleaving or process-local alert counters — canonicalise
+    to equal lists; this is the comparator behind the cluster's
+    serial-equivalence guarantee.
+    """
+    ordered = sorted(alerts, key=_alert_key)
+    return [
+        replace(alert, ident=f"infilter-{index:08d}")
+        for index, alert in enumerate(ordered)
+    ]
+
+
+async def fetch_json(
+    host: str, port: int, path: str, *, timeout_s: float = 5.0
+) -> Dict[str, object]:
+    """GET a JSON document from a worker observability endpoint."""
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout_s
+        )
+    except (OSError, asyncio.TimeoutError) as error:
+        raise ClusterError(
+            f"could not reach http://{host}:{port}{path}: {error}"
+        ) from error
+    try:
+        request = (
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(request.encode("ascii"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout_s)
+    except (OSError, asyncio.TimeoutError) as error:
+        raise ClusterError(
+            f"scrape of http://{host}:{port}{path} failed: {error}"
+        ) from error
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].split()
+    if len(status) < 2 or status[1] != b"200":
+        raise ClusterError(
+            f"scrape of http://{host}:{port}{path} answered"
+            f" {head.splitlines()[0]!r}"
+        )
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ClusterError(
+            f"scrape of http://{host}:{port}{path} returned"
+            f" malformed JSON: {error}"
+        ) from error
+    if not isinstance(document, dict):
+        raise ClusterError(
+            f"scrape of http://{host}:{port}{path} returned a non-object"
+        )
+    return document

@@ -1,6 +1,6 @@
 """Vectorized zero-copy data plane for the batch hot path.
 
-E11/E12 showed the per-flow cost of the reproduction is dominated by
+E11/E19 showed the per-flow cost of the reproduction is dominated by
 pure-Python EIA lookups and d=720 unary Hamming distances.  This
 package is the documented, benchmarked answer (bench E15, tuning guide
 ``docs/performance.md``): columnar zero-copy NetFlow decoding

@@ -69,6 +69,11 @@ class ServeConfig:
     #: Decision-equivalent either way; off is the benchmarking/escape
     #: hatch.
     fastpath: bool = True
+    #: Ask the kernel for this much UDP receive buffer (``SO_RCVBUF``)
+    #: on the ingest socket; ``None`` keeps the system default.  Bursty
+    #: exporters overrun small kernel buffers long before the queue's
+    #: shed policy ever gets a say, so cluster workers raise this.
+    recv_buffer_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65_535:
@@ -109,6 +114,10 @@ class ServeConfig:
         if self.idle_exit_s is not None and self.idle_exit_s <= 0:
             raise ConfigError(
                 f"idle_exit_s must be > 0, got {self.idle_exit_s}"
+            )
+        if self.recv_buffer_bytes is not None and self.recv_buffer_bytes < 1:
+            raise ConfigError(
+                f"recv_buffer_bytes must be >= 1, got {self.recv_buffer_bytes}"
             )
 
     @property

@@ -25,6 +25,7 @@ same transitions without a kernel in the loop.
 from __future__ import annotations
 
 import signal
+import socket
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -250,6 +251,14 @@ class ServeDaemon:
             local_addr=(self.config.host, self.config.port),
         )
         self._transport = transport
+        if self.config.recv_buffer_bytes is not None:
+            sock = transport.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_RCVBUF,
+                    self.config.recv_buffer_bytes,
+                )
         bound = transport.get_extra_info("sockname")
         self.address = (str(bound[0]), int(bound[1]))
         if self.http is not None and self.config.http_port is not None:

@@ -37,6 +37,7 @@ log = get_logger(__name__)
 _KNOWN_PATHS = ("/healthz", "/metrics", "/stats.json")
 
 HealthProvider = Callable[[], Dict[str, object]]
+RegistryProvider = Callable[[], MetricsRegistry]
 
 
 class ObservabilityEndpoint:
@@ -47,9 +48,15 @@ class ObservabilityEndpoint:
         *,
         health: HealthProvider,
         registry: Optional[MetricsRegistry] = None,
+        registry_provider: Optional[RegistryProvider] = None,
     ) -> None:
         self._health = health
         self._registry = registry if registry is not None else get_registry()
+        # When set, /metrics and /stats.json render whatever registry the
+        # provider returns at scrape time (the cluster supervisor hands in
+        # its latest federated merge); request accounting stays on the
+        # endpoint's own registry either way.
+        self._registry_provider = registry_provider
         self._server: Optional[asyncio.AbstractServer] = None
         self.address: Optional[Tuple[str, int]] = None
         self._m_requests = self._registry.counter(
@@ -127,9 +134,14 @@ class ObservabilityEndpoint:
             body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
             return "200 OK", "application/json", body
         if path == "/metrics":
-            text = render_prometheus(self._registry)
+            text = render_prometheus(self._scrape_registry())
             return "200 OK", "text/plain; version=0.0.4", text.encode("utf-8")
         if path == "/stats.json":
-            text = render_json(self._registry) + "\n"
+            text = render_json(self._scrape_registry()) + "\n"
             return "200 OK", "application/json", text.encode("utf-8")
         return "404 Not Found", "text/plain", b"unknown path\n"
+
+    def _scrape_registry(self) -> MetricsRegistry:
+        if self._registry_provider is not None:
+            return self._registry_provider()
+        return self._registry

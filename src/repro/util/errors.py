@@ -21,6 +21,7 @@ __all__ = [
     "EngineError",
     "StateError",
     "ServeError",
+    "ClusterError",
 ]
 
 
@@ -74,3 +75,7 @@ class StateError(ReproError, RuntimeError):
 
 class ServeError(ReproError, RuntimeError):
     """The live serving daemon violated or detected a usage contract."""
+
+
+class ClusterError(ReproError, RuntimeError):
+    """The multi-process serving cluster violated or detected a contract."""

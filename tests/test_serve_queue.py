@@ -2,17 +2,24 @@
 
 The queue is the backpressure boundary of the daemon: these tests pin
 down the two shed policies, the close-then-drain contract that graceful
-shutdown depends on, and the micro-batch linger behaviour.
+shutdown depends on, the micro-batch linger behaviour, and — under
+bursty concurrent producers — the exact reconciliation of each policy's
+counters with the record-fate totals in :class:`ServeReport`.
 """
 
 from __future__ import annotations
+
+import socket
 
 import asyncio
 
 import pytest
 
+from repro.core import EnhancedInFilter, PipelineConfig
 from repro.netflow.records import PROTO_UDP, FlowKey, FlowRecord
+from repro.netflow.v5 import datagrams_for
 from repro.obs import MetricsRegistry
+from repro.serve import ServeDaemon
 from repro.serve.config import (
     SHED_DROP_OLDEST,
     SHED_REJECT_NEWEST,
@@ -196,3 +203,152 @@ class TestIngestQueue:
             queue.put(record(i))
         stamps = [q.enqueued_s for q in queue.take_nowait(8)]
         assert stamps == sorted(stamps)
+
+
+class TestShedPoliciesUnderBurst:
+    """Bursty concurrent producers vs the two shed policies.
+
+    The accounting identities under test:
+
+    * drop-oldest admits every offer and evicts the head, so
+      ``enqueued == offered`` and ``delivered == enqueued - shed``;
+    * reject-newest refuses the incoming record, so
+      ``enqueued == offered - shed`` and ``delivered == enqueued``;
+    * under both, ``delivered + shed == offered`` — no record's fate is
+      ever double- or un-counted, whatever the producer/consumer
+      interleaving.
+    """
+
+    def _run_burst(self, shed_policy, *, producers=4, bursts=6, burst=8):
+        async def main():
+            queue = make_queue(capacity=5, shed_policy=shed_policy)
+            offered = refused = 0
+            delivered = []
+
+            async def producer(seed):
+                nonlocal offered, refused
+                for index in range(bursts):
+                    # A burst lands synchronously — no yield inside —
+                    # exactly like one datagram's records arriving in a
+                    # single protocol callback.
+                    for i in range(burst):
+                        admitted = queue.put(
+                            record(seed * 10_000 + index * 100 + i)
+                        )
+                        offered += 1
+                        if not admitted:
+                            refused += 1
+                    await asyncio.sleep(0)
+
+            async def consumer():
+                while True:
+                    batch = await queue.get_batch(4)
+                    if not batch:
+                        return
+                    delivered.extend(batch)
+                    await asyncio.sleep(0)
+
+            task = asyncio.ensure_future(consumer())
+            await asyncio.gather(
+                *(producer(seed) for seed in range(producers))
+            )
+            queue.close()
+            await asyncio.wait_for(task, timeout=30)
+            return queue.stats, offered, refused, len(delivered)
+
+        return asyncio.run(main())
+
+    def test_drop_oldest_burst_reconciles(self):
+        stats, offered, refused, delivered = self._run_burst(
+            SHED_DROP_OLDEST
+        )
+        assert refused == 0  # drop-oldest never refuses the offer
+        assert stats.shed > 0  # capacity 5 vs bursts of 8 must shed
+        assert stats.enqueued == offered
+        assert delivered == stats.dequeued == offered - stats.shed
+        assert delivered + stats.shed == offered
+
+    def test_reject_newest_burst_reconciles(self):
+        stats, offered, refused, delivered = self._run_burst(
+            SHED_REJECT_NEWEST
+        )
+        assert stats.shed > 0
+        assert refused == stats.shed  # every shed was a refused put
+        assert stats.enqueued == offered - stats.shed
+        assert delivered == stats.dequeued == stats.enqueued
+        assert delivered + stats.shed == offered
+
+
+class TestShedReconciliationWithServeReport:
+    """The queue identities surface intact in ``ServeReport``.
+
+    A Basic-InFilter daemon with a 8-record queue is blasted with
+    30-record datagrams (each protocol callback offers 30 records to a
+    queue of 8, so shedding is certain), then drained; the report's
+    record-fate totals must reconcile exactly per policy.
+    """
+
+    def _run_daemon(self, shed_policy):
+        detector = EnhancedInFilter(PipelineConfig.basic())
+        config = ServeConfig(
+            host="127.0.0.1",
+            port=0,
+            queue_capacity=8,
+            batch_size=4,
+            shed_policy=shed_policy,
+            idle_exit_s=0.5,
+        )
+        records = [record(i) for i in range(300)]
+
+        async def main():
+            daemon = ServeDaemon(
+                detector, config, registry=MetricsRegistry()
+            )
+            task = asyncio.ensure_future(daemon.run())
+            await asyncio.wait_for(daemon.wait_started(), timeout=10)
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sent = 0
+                for datagram in datagrams_for(
+                    records, sys_uptime=0, unix_secs=0
+                ):
+                    sock.sendto(datagram, daemon.address)
+                    sent += 1
+                    if sent % 4 == 0:
+                        await asyncio.sleep(0)
+            finally:
+                sock.close()
+            return await asyncio.wait_for(task, timeout=60)
+
+        return asyncio.run(main())
+
+    def test_drop_oldest_report_reconciles(self):
+        report = self._run_daemon(SHED_DROP_OLDEST)
+        assert report.records_shed > 0
+        # Every collected record was admitted; the shed ones were
+        # evicted later, so committed = enqueued - shed.
+        assert report.records_enqueued == report.records_collected
+        assert (
+            report.records_committed
+            == report.records_enqueued - report.records_shed
+        )
+        assert (
+            report.records_committed + report.records_shed
+            == report.records_collected
+        )
+
+    def test_reject_newest_report_reconciles(self):
+        report = self._run_daemon(SHED_REJECT_NEWEST)
+        assert report.records_shed > 0
+        # Shed records were never admitted, so enqueued undercounts
+        # collected by exactly the shed total and everything admitted
+        # commits.
+        assert (
+            report.records_enqueued
+            == report.records_collected - report.records_shed
+        )
+        assert report.records_committed == report.records_enqueued
+        assert (
+            report.records_committed + report.records_shed
+            == report.records_collected
+        )
